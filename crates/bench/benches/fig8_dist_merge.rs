@@ -1,0 +1,74 @@
+//! Figure 8 — multiple nodes: distributed extract snapshot with global
+//! merge, NaiveMerge vs OptMerge (paper §V-H).
+//!
+//! NaiveMerge gathers all partitions on rank 0 and runs a K-way merge
+//! there; OptMerge uses recursive doubling (log K rounds) with the
+//! multi-threaded two-way merge on each surviving rank (paper §IV-A).
+//!
+//! Paper shape: NaiveMerge collapses at scale (two orders of magnitude
+//! slower at 512 nodes); OptMerge is ~50× faster there, which preserves
+//! PSkipList's lead (~20%) over the database engine end to end.
+
+use mvkv_bench::{
+    make_dist_dbreg, make_dist_pskiplist, report, secs, BenchConfig, Row, TempArtifacts,
+};
+use mvkv_cluster::MergeStrategy;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let merge_threads: usize = std::env::var("MVKV_BENCH_MERGE_T")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let mut rows = Vec::new();
+    for &k in &cfg.nodes {
+        let mut arts = TempArtifacts::new();
+        let total = k * cfg.dist_n;
+        {
+            let mut cluster = make_dist_pskiplist(k, cfg.dist_n, &mut arts, &format!("fig8p-{k}"));
+            for (label, strategy) in [
+                ("PSkipList-Naive", MergeStrategy::Naive),
+                ("PSkipList-Opt", MergeStrategy::Opt { threads: merge_threads }),
+            ] {
+                cluster.reset_clocks();
+                let (merged, took) = cluster.extract_snapshot(u64::MAX, strategy);
+                assert_eq!(merged.len(), total);
+                assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
+                rows.push(row(label, k, secs(took)));
+                eprintln!("[fig8] {label} K={k}: {:.4}s (virtual)", secs(took));
+            }
+        }
+        {
+            let mut cluster = make_dist_dbreg(k, cfg.dist_n, &mut arts, &format!("fig8d-{k}"));
+            for (label, strategy) in [
+                ("DbReg-Naive", MergeStrategy::Naive),
+                ("DbReg-Opt", MergeStrategy::Opt { threads: merge_threads }),
+            ] {
+                cluster.reset_clocks();
+                let (merged, took) = cluster.extract_snapshot(u64::MAX, strategy);
+                assert_eq!(merged.len(), total);
+                rows.push(row(label, k, secs(took)));
+                eprintln!("[fig8] {label} K={k}: {:.4}s (virtual)", secs(took));
+            }
+        }
+    }
+    report(
+        "fig8",
+        &format!(
+            "distributed extract snapshot with global merge, N={} pairs/node",
+            cfg.dist_n
+        ),
+        &rows,
+    );
+}
+
+fn row(approach: &str, k: usize, s: f64) -> Row {
+    Row {
+        figure: "fig8",
+        approach: approach.into(),
+        x: k as u64,
+        metric: "merged_snapshot_time",
+        value: s,
+        unit: "s",
+    }
+}

@@ -1,0 +1,339 @@
+//! Shared infrastructure for the figure-regeneration harnesses.
+//!
+//! Every harness in `benches/` reproduces one figure of the paper's
+//! evaluation (§V). They print paper-style tables (`figure, approach,
+//! x, metric, value`) and optionally append machine-readable JSON rows to
+//! the file named by `MVKV_OUT`.
+//!
+//! Environment knobs (defaults sized for a CI box; the paper's parameters
+//! in brackets):
+//!
+//! * `MVKV_BENCH_N` — operations per phase (default 20 000) [10^6]
+//! * `MVKV_BENCH_T` — comma-separated thread counts (default `1,2,4,8`)
+//!   [1..64]
+//! * `MVKV_BENCH_NODES` — comma-separated simulated node counts for the
+//!   horizontal experiments (default `2,4,8,16,32`) [8..512]
+//! * `MVKV_BENCH_DIST_N` — pairs per node in horizontal experiments
+//!   (default 5 000) [10^5]
+//! * `MVKV_OUT` — JSON lines output path (optional)
+
+use mvkv_core::{DbStore, PSkipList, StoreSession, VersionedStore};
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Benchmark parameters (see crate docs for the env knobs).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    pub n: usize,
+    pub threads: Vec<usize>,
+    pub nodes: Vec<usize>,
+    pub dist_n: usize,
+    pub seed: u64,
+}
+
+impl BenchConfig {
+    pub fn from_env() -> Self {
+        let n = env_usize("MVKV_BENCH_N", 20_000);
+        let threads = env_list("MVKV_BENCH_T", &[1, 2, 4, 8]);
+        let nodes = env_list("MVKV_BENCH_NODES", &[2, 4, 8, 16, 32]);
+        let dist_n = env_usize("MVKV_BENCH_DIST_N", 5_000);
+        BenchConfig { n, threads, nodes, dist_n, seed: 0x5EED_2022 }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// One reported measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub figure: &'static str,
+    pub approach: String,
+    /// Thread count, node count, … (the figure's X axis).
+    pub x: u64,
+    pub metric: &'static str,
+    pub value: f64,
+    pub unit: &'static str,
+}
+
+/// Prints the rows as an aligned table and appends JSON lines to
+/// `MVKV_OUT` if set.
+pub fn report(figure: &'static str, title: &str, rows: &[Row]) {
+    println!("\n=== {figure}: {title} ===");
+    println!("{:<12} {:>8} {:<22} {:>14} {:<10}", "approach", "x", "metric", "value", "unit");
+    for r in rows {
+        println!(
+            "{:<12} {:>8} {:<22} {:>14.4} {:<10}",
+            r.approach, r.x, r.metric, r.value, r.unit
+        );
+    }
+    if let Ok(path) = std::env::var("MVKV_OUT") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            for r in rows {
+                let _ = writeln!(f, "{}", serde_json::to_string(r).expect("row serializes"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store construction
+// ---------------------------------------------------------------------------
+
+/// The five compared approaches (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    PSkipList,
+    ESkipList,
+    LockedMap,
+    DbReg,
+    DbMem,
+}
+
+impl StoreKind {
+    pub fn all() -> [StoreKind; 5] {
+        [
+            StoreKind::PSkipList,
+            StoreKind::ESkipList,
+            StoreKind::LockedMap,
+            StoreKind::DbReg,
+            StoreKind::DbMem,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreKind::PSkipList => "PSkipList",
+            StoreKind::ESkipList => "ESkipList",
+            StoreKind::LockedMap => "LockedMap",
+            StoreKind::DbReg => "DbReg",
+            StoreKind::DbMem => "DbMem",
+        }
+    }
+}
+
+/// Directory for persistent artifacts: `/dev/shm` when available (the
+/// paper's PM emulation mount), the system temp dir otherwise.
+pub fn bench_dir() -> PathBuf {
+    let shm = PathBuf::from("/dev/shm");
+    let base = if shm.is_dir() { shm } else { std::env::temp_dir() };
+    let dir = base.join(format!("mvkv-bench-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// A file path removed on drop (pool and database files).
+pub struct TempArtifacts {
+    paths: Vec<PathBuf>,
+}
+
+impl TempArtifacts {
+    pub fn new() -> Self {
+        TempArtifacts { paths: Vec::new() }
+    }
+
+    pub fn path(&mut self, name: &str) -> PathBuf {
+        let p = bench_dir().join(name);
+        // Register the companion WAL too, in case the caller creates one.
+        let mut wal = p.clone().into_os_string();
+        wal.push(".wal");
+        self.paths.push(PathBuf::from(wal));
+        self.paths.push(p.clone());
+        p
+    }
+}
+
+impl Default for TempArtifacts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for TempArtifacts {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Pool size heuristic: per-key persistent footprint (history header +
+/// first segment + chain pair + slack) times expected keys, plus headroom.
+pub fn pool_bytes_for(keys: usize) -> usize {
+    keys * 640 + (64 << 20)
+}
+
+/// Builds a PSkipList backed by a file under [`bench_dir`].
+pub fn make_pskiplist(keys: usize, arts: &mut TempArtifacts, tag: &str) -> PSkipList {
+    let path = arts.path(&format!("pskiplist-{tag}.pool"));
+    PSkipList::create_file(path, pool_bytes_for(keys)).expect("pool creation failed")
+}
+
+/// Builds a DbReg store backed by files under [`bench_dir`].
+pub fn make_dbreg(arts: &mut TempArtifacts, tag: &str) -> DbStore {
+    let path = arts.path(&format!("dbreg-{tag}.db"));
+    DbStore::reg(path).expect("db creation failed")
+}
+
+/// Runs a block with a freshly created store of the requested kind. The
+/// block is monomorphized per store type (closures cannot be generic, so
+/// this is a macro):
+///
+/// ```ignore
+/// let elapsed = dispatch_store!(kind, n_keys, "fig2", |store| {
+///     timed_phase(store, &work, |s, kv| { s.insert(kv.key, kv.value); })
+/// });
+/// ```
+#[macro_export]
+macro_rules! dispatch_store {
+    ($kind:expr, $keys:expr, $tag:expr, |$store:ident| $body:expr) => {{
+        let mut __arts = $crate::TempArtifacts::new();
+        match $kind {
+            $crate::StoreKind::PSkipList => {
+                let __s = $crate::make_pskiplist($keys, &mut __arts, $tag);
+                let $store = &__s;
+                $body
+            }
+            $crate::StoreKind::ESkipList => {
+                let __s = ::mvkv_core::ESkipList::new();
+                let $store = &__s;
+                $body
+            }
+            $crate::StoreKind::LockedMap => {
+                let __s = ::mvkv_core::LockedMap::new();
+                let $store = &__s;
+                $body
+            }
+            $crate::StoreKind::DbReg => {
+                let __s = $crate::make_dbreg(&mut __arts, $tag);
+                let $store = &__s;
+                $body
+            }
+            $crate::StoreKind::DbMem => {
+                let __s = ::mvkv_core::DbStore::mem();
+                let $store = &__s;
+                $body
+            }
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Phase runners
+// ---------------------------------------------------------------------------
+
+/// Runs `f(session, item)` over per-thread work lists concurrently and
+/// returns the wall time until all threads finish and all writes are
+/// visible (the paper measures "the total time taken by all threads to
+/// finish").
+pub fn timed_phase<'s, S, T, F>(store: &'s S, work: &[Vec<T>], f: F) -> Duration
+where
+    S: VersionedStore + Sync,
+    T: Sync,
+    F: Fn(&S::Session<'s>, &T) + Sync,
+{
+    let f = &f;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in work {
+            scope.spawn(move || {
+                let session = store.session();
+                for item in chunk {
+                    f(&session, item);
+                }
+            });
+        }
+    });
+    store.wait_writes_complete();
+    start.elapsed()
+}
+
+/// Populates a store with the canonical paper state (§V-E): N unique
+/// inserts, N removes of those keys, N more unique inserts → P = 2N keys.
+/// Returns the generated workload for query construction.
+pub fn build_canonical_state<S: VersionedStore + Sync>(
+    store: &S,
+    n: usize,
+    build_threads: usize,
+    seed: u64,
+) -> mvkv_workload::scenario::GeneratedWorkload {
+    let scenario = mvkv_workload::Scenario::new(n, build_threads, seed);
+    let w = scenario.generate();
+    timed_phase(store, &w.inserts_per_thread(), |s, kv| {
+        s.insert(kv.key, kv.value);
+    });
+    timed_phase(store, &w.removals_per_thread(), |s, key| {
+        s.remove(*key);
+    });
+    timed_phase(store, &w.second_inserts_per_thread(), |s, kv| {
+        s.insert(kv.key, kv.value);
+    });
+    w
+}
+
+/// Convenience: seconds as f64.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// Distributed setup (paper §V-H)
+// ---------------------------------------------------------------------------
+
+/// Builds a simulated cluster of `k` PSkipList ranks, rank `r` owning the
+/// contiguous key range `[r·n, (r+1)·n)` with `value = key + 1`.
+pub fn make_dist_pskiplist(
+    k: usize,
+    n: usize,
+    arts: &mut TempArtifacts,
+    tag: &str,
+) -> mvkv_cluster::DistStore<PSkipList> {
+    let ranks: Vec<PSkipList> = (0..k)
+        .map(|r| {
+            let path = arts.path(&format!("dist-{tag}-rank{r}.pool"));
+            let store =
+                PSkipList::create_file(path, n * 640 + (4 << 20)).expect("rank pool creation");
+            populate_rank(&store, r, n);
+            store
+        })
+        .collect();
+    mvkv_cluster::DistStore::new(ranks, mvkv_cluster::NetModel::theta_like())
+}
+
+/// Builds a simulated cluster of `k` DbReg ranks with the same partitioning.
+pub fn make_dist_dbreg(
+    k: usize,
+    n: usize,
+    arts: &mut TempArtifacts,
+    tag: &str,
+) -> mvkv_cluster::DistStore<DbStore> {
+    let ranks: Vec<DbStore> = (0..k)
+        .map(|r| {
+            let path = arts.path(&format!("dist-{tag}-rank{r}.db"));
+            let store = DbStore::reg(path).expect("rank db creation");
+            populate_rank(&store, r, n);
+            store
+        })
+        .collect();
+    mvkv_cluster::DistStore::new(ranks, mvkv_cluster::NetModel::theta_like())
+}
+
+fn populate_rank<S: VersionedStore>(store: &S, rank: usize, n: usize) {
+    let session = store.session();
+    let base = (rank * n) as u64;
+    for i in 0..n as u64 {
+        session.insert(base + i, base + i + 1);
+    }
+    store.wait_writes_complete();
+}

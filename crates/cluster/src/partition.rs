@@ -1,0 +1,181 @@
+//! Key partitioning across ranks.
+//!
+//! The paper's horizontal experiments assume the collection is
+//! "partitioned among K compute nodes, each of which is responsible for a
+//! different key range" (§IV-A). This module provides that routing layer:
+//! a [`Partitioner`] maps keys to owner ranks, with a contiguous
+//! [`RangePartitioner`] (the paper's model — ranges keep `extract_snapshot`
+//! merges order-friendly) that can be built evenly over a key space or
+//! balanced from a sampled key distribution, plus a [`ModuloPartitioner`]
+//! for hash-style spreading.
+//!
+//! [`crate::DistStore`] uses partitioners to route *writes*
+//! ([`crate::DistStore::insert_routed`]), completing the distributed story:
+//! reads were already collective (broadcast + reduce), writes go point to
+//! point to the owner.
+
+/// Maps keys to owning ranks.
+pub trait Partitioner: Send + Sync {
+    /// The rank responsible for `key`.
+    fn owner(&self, key: u64) -> usize;
+    /// Number of ranks partitioned over.
+    fn ranks(&self) -> usize;
+}
+
+/// `key % K` spreading (destroys range locality; kept as the contrast).
+#[derive(Debug, Clone)]
+pub struct ModuloPartitioner {
+    ranks: usize,
+}
+
+impl ModuloPartitioner {
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks >= 1);
+        ModuloPartitioner { ranks }
+    }
+}
+
+impl Partitioner for ModuloPartitioner {
+    fn owner(&self, key: u64) -> usize {
+        (key % self.ranks as u64) as usize
+    }
+
+    fn ranks(&self) -> usize {
+        self.ranks
+    }
+}
+
+/// Contiguous range partitioning: rank `i` owns `[bounds[i-1], bounds[i])`
+/// with implicit 0 and `u64::MAX` sentinels — the paper's distribution
+/// model.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    /// `upper[i]` = first key NOT owned by rank `i`; `upper.len() == ranks - 1`
+    /// (the last rank owns everything above the final bound).
+    upper: Vec<u64>,
+}
+
+impl RangePartitioner {
+    /// Splits `[0, key_space)` into equal-width ranges.
+    pub fn even(ranks: usize, key_space: u64) -> Self {
+        assert!(ranks >= 1);
+        let width = (key_space / ranks as u64).max(1);
+        RangePartitioner {
+            upper: (1..ranks as u64).map(|i| i * width).collect(),
+        }
+    }
+
+    /// Builds balanced ranges from a key sample: bounds are the sample's
+    /// `i/K` quantiles, so each rank owns roughly the same number of live
+    /// keys regardless of the key distribution's skew.
+    pub fn from_sample(ranks: usize, sample: &mut [u64]) -> Self {
+        assert!(ranks >= 1);
+        sample.sort_unstable();
+        let upper = (1..ranks)
+            .map(|i| {
+                if sample.is_empty() {
+                    i as u64
+                } else {
+                    sample[(i * sample.len() / ranks).min(sample.len() - 1)]
+                }
+            })
+            .collect();
+        RangePartitioner { upper }
+    }
+
+    /// The owned range of `rank` as `(inclusive lower, exclusive upper)`.
+    pub fn range_of(&self, rank: usize) -> (u64, u64) {
+        let lo = if rank == 0 { 0 } else { self.upper[rank - 1] };
+        let hi = self.upper.get(rank).copied().unwrap_or(u64::MAX);
+        (lo, hi)
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn owner(&self, key: u64) -> usize {
+        // First bound strictly greater than key.
+        self.upper.partition_point(|&b| b <= key)
+    }
+
+    fn ranks(&self) -> usize {
+        self.upper.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_covers_all_ranks() {
+        let p = ModuloPartitioner::new(4);
+        assert_eq!(p.ranks(), 4);
+        let owners: std::collections::HashSet<usize> = (0..100).map(|k| p.owner(k)).collect();
+        assert_eq!(owners.len(), 4);
+        assert_eq!(p.owner(7), 3);
+    }
+
+    #[test]
+    fn even_ranges_are_contiguous_and_total() {
+        let p = RangePartitioner::even(4, 1000);
+        assert_eq!(p.ranks(), 4);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(249), 0);
+        assert_eq!(p.owner(250), 1);
+        assert_eq!(p.owner(999), 3);
+        assert_eq!(p.owner(u64::MAX), 3, "keys beyond the space go to the last rank");
+        // Ranges tile the space.
+        for rank in 0..4 {
+            let (lo, hi) = p.range_of(rank);
+            assert!(lo < hi);
+            assert_eq!(p.owner(lo), rank);
+            if hi != u64::MAX {
+                assert_eq!(p.owner(hi), rank + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let p = RangePartitioner::even(1, 100);
+        assert_eq!(p.ranks(), 1);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(u64::MAX), 0);
+        assert_eq!(p.range_of(0), (0, u64::MAX));
+    }
+
+    #[test]
+    fn sampled_ranges_balance_skew() {
+        // Heavily skewed sample: 90% of keys in [0, 100), 10% in [10^6, ∞).
+        let mut sample: Vec<u64> = (0..900u64).map(|i| i % 100).collect();
+        sample.extend((0..100u64).map(|i| 1_000_000 + i));
+        let p = RangePartitioner::from_sample(4, &mut sample);
+        // Count sample keys per owner: must be within 2x of ideal.
+        let mut counts = vec![0usize; 4];
+        for &k in &sample {
+            counts[p.owner(k)] += 1;
+        }
+        let ideal = sample.len() / 4;
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!(
+                c >= ideal / 2 && c <= ideal * 2,
+                "rank {rank} owns {c} of {} (ideal {ideal}): {counts:?}",
+                sample.len()
+            );
+        }
+        // An even split would have been absurdly unbalanced here.
+        let even = RangePartitioner::even(4, 1_000_100);
+        let mut even_counts = vec![0usize; 4];
+        for &k in &sample {
+            even_counts[even.owner(k)] += 1;
+        }
+        assert!(even_counts[0] >= sample.len() * 8 / 10, "skew sanity: {even_counts:?}");
+    }
+
+    #[test]
+    fn empty_sample_degrades_gracefully() {
+        let p = RangePartitioner::from_sample(3, &mut []);
+        assert_eq!(p.ranks(), 3);
+        let _ = p.owner(5); // must not panic
+    }
+}

@@ -1,0 +1,318 @@
+//! [`VersionedMap<K, V>`] — the multi-version ordered dictionary for
+//! arbitrary ordered keys and arbitrary values.
+//!
+//! The paper's store is specialized to 64-bit integers (its evaluation
+//! workloads, §V-C); a drop-in `std::map` replacement — the paper's §II
+//! framing — needs generic keys and values. This ephemeral container runs
+//! the exact same machinery (lock-free skip-list index, lazy-tail
+//! histories, completion watermark) over any `K: Ord` and any `V`, with
+//! values handed out by reference (they are immutable once published and
+//! live as long as the map).
+//!
+//! Same concurrency contract as the word stores: mutations of distinct
+//! keys are lock-free from any number of threads; mutations of one key
+//! must be externally ordered; queries are always safe.
+
+use mvkv_skiplist::{InsertOutcome, SkipList};
+use mvkv_vhistory::{EHistory, History, VersionClock, TOMBSTONE};
+
+type EHist = History<EHistory>;
+
+/// Per-key state: the history holds word-sized handles that are either
+/// [`TOMBSTONE`] or leaked `Box<V>` pointers (reclaimed in `Drop`).
+struct KeyState<V> {
+    history: EHist,
+    _values: std::marker::PhantomData<V>,
+}
+
+/// A multi-versioning ordered map from `K` to `V`.
+///
+/// # Examples
+///
+/// ```
+/// use mvkv_core::VersionedMap;
+///
+/// let map: VersionedMap<String, Vec<f32>> = VersionedMap::new();
+/// let v1 = map.insert("conv1".into(), vec![0.1, 0.2]);
+/// map.insert("conv1".into(), vec![0.3, 0.4]); // new version
+/// assert_eq!(map.find(&"conv1".into(), v1), Some(&vec![0.1, 0.2]));
+/// assert_eq!(map.find(&"conv1".into(), map.tag()), Some(&vec![0.3, 0.4]));
+/// ```
+pub struct VersionedMap<K, V> {
+    index: SkipList<K>,
+    clock: VersionClock,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<K: Ord, V> VersionedMap<K, V> {
+    pub fn new() -> Self {
+        VersionedMap {
+            index: SkipList::new(),
+            clock: VersionClock::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn state(&self, payload: u64) -> &KeyState<V> {
+        // Safety: payloads are exclusively leaked `Box<KeyState<V>>`
+        // pointers owned by this map until drop.
+        unsafe { &*(payload as *const KeyState<V>) }
+    }
+
+    fn get_or_create_state(&self, key: K) -> &KeyState<V> {
+        if let Some(p) = self.index.get(&key) {
+            return self.state(p);
+        }
+        let outcome = self.index.insert_with(key, || {
+            Box::into_raw(Box::new(KeyState::<V> {
+                history: History::new(EHistory::new()),
+                _values: std::marker::PhantomData,
+            })) as u64
+        });
+        if let InsertOutcome::Lost { yours: Some(mine), .. } = outcome {
+            // Safety: our state never became reachable.
+            drop(unsafe { Box::from_raw(mine as *mut KeyState<V>) });
+        }
+        self.state(outcome.payload())
+    }
+
+    fn decode(&self, raw: u64) -> Option<&V> {
+        if raw == TOMBSTONE {
+            return None;
+        }
+        // Safety: non-tombstone handles are leaked `Box<V>` pointers that
+        // live until the map drops; published via Release in the history.
+        Some(unsafe { &*(raw as *const V) })
+    }
+
+    /// Inserts `key → value`, tagging a new snapshot; returns its version.
+    pub fn insert(&self, key: K, value: V) -> u64 {
+        let handle = Box::into_raw(Box::new(value)) as u64;
+        debug_assert_ne!(handle, TOMBSTONE);
+        let state = self.get_or_create_state(key);
+        let version = self.clock.issue();
+        state.history.append(version, handle);
+        self.clock.complete(version);
+        version
+    }
+
+    /// Removes `key`, tagging a new snapshot; returns its version.
+    pub fn remove(&self, key: K) -> u64 {
+        let state = self.get_or_create_state(key);
+        let version = self.clock.issue();
+        state.history.append_tombstone(version);
+        self.clock.complete(version);
+        version
+    }
+
+    /// The value of `key` in snapshot `version`.
+    pub fn find(&self, key: &K, version: u64) -> Option<&V> {
+        let payload = self.index.get(key)?;
+        let raw = self.state(payload).history.find_raw(version, self.clock.watermark())?;
+        self.decode(raw)
+    }
+
+    /// All live `(key, value)` pairs of snapshot `version`, in key order.
+    pub fn extract_snapshot(&self, version: u64) -> Vec<(&K, &V)> {
+        let fc = self.clock.watermark();
+        let mut out = Vec::new();
+        for (key, payload) in self.index.iter() {
+            if let Some(raw) = self.state(payload).history.find_raw(version, fc) {
+                if let Some(value) = self.decode(raw) {
+                    out.push((key, value));
+                }
+            }
+        }
+        out
+    }
+
+    /// Live pairs of snapshot `version` with keys in `[lo, hi)`.
+    pub fn extract_range(&self, version: u64, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        let fc = self.clock.watermark();
+        let mut out = Vec::new();
+        for (key, payload) in self.index.range_from(lo) {
+            if key >= hi {
+                break;
+            }
+            if let Some(raw) = self.state(payload).history.find_raw(version, fc) {
+                if let Some(value) = self.decode(raw) {
+                    out.push((key, value));
+                }
+            }
+        }
+        out
+    }
+
+    /// The change history of `key`: `(version, Some(&value) | None)`.
+    pub fn extract_history(&self, key: &K) -> Vec<(u64, Option<&V>)> {
+        let Some(payload) = self.index.get(key) else { return Vec::new() };
+        self.state(payload)
+            .history
+            .records(self.clock.watermark())
+            .into_iter()
+            .map(|r| (r.version, r.value.and_then(|raw| self.decode(raw))))
+            .collect()
+    }
+
+    /// Newest consistent snapshot id.
+    pub fn tag(&self) -> u64 {
+        self.clock.watermark()
+    }
+
+    /// Number of distinct keys ever inserted.
+    pub fn key_count(&self) -> u64 {
+        self.index.len()
+    }
+
+    /// Blocks until all issued mutations are visible.
+    pub fn wait_writes_complete(&self) {
+        self.clock.wait_all_complete();
+    }
+}
+
+impl<K: Ord, V> Default for VersionedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> Drop for VersionedMap<K, V> {
+    fn drop(&mut self) {
+        for (_, payload) in self.index.iter() {
+            // Safety: exclusive access in drop. Reclaim every published
+            // value handle, then the key state itself.
+            let state = unsafe { Box::from_raw(payload as *mut KeyState<V>) };
+            let visible = state.history.extend_tail(u64::MAX);
+            for i in 0..visible {
+                use mvkv_vhistory::Slots;
+                let raw = state
+                    .history
+                    .slots()
+                    .entry(i)
+                    .value
+                    .load(std::sync::atomic::Ordering::Acquire);
+                if raw != TOMBSTONE {
+                    drop(unsafe { Box::from_raw(raw as *mut V) });
+                }
+            }
+        }
+    }
+}
+
+// Safety: the map shares only atomics and published (immutable) boxes.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for VersionedMap<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for VersionedMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_keys_struct_values() {
+        #[derive(Debug, PartialEq)]
+        struct Tensor {
+            shape: Vec<usize>,
+            checksum: u64,
+        }
+        let map: VersionedMap<String, Tensor> = VersionedMap::new();
+        let v1 = map.insert("conv1".into(), Tensor { shape: vec![64, 3, 7, 7], checksum: 1 });
+        map.insert("fc".into(), Tensor { shape: vec![1000, 512], checksum: 2 });
+        let v3 = map.insert("conv1".into(), Tensor { shape: vec![64, 3, 7, 7], checksum: 3 });
+
+        assert_eq!(map.find(&"conv1".into(), v1).unwrap().checksum, 1);
+        assert_eq!(map.find(&"conv1".into(), v3).unwrap().checksum, 3);
+        assert_eq!(map.find(&"missing".into(), v3), None);
+
+        let snap = map.extract_snapshot(map.tag());
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["conv1", "fc"], "ordered iteration");
+    }
+
+    #[test]
+    fn tombstones_and_history() {
+        let map: VersionedMap<u32, &'static str> = VersionedMap::new();
+        map.insert(1, "a");
+        map.remove(1);
+        map.insert(1, "b");
+        let hist = map.extract_history(&1);
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].1, Some(&"a"));
+        assert_eq!(hist[1].1, None);
+        assert_eq!(hist[2].1, Some(&"b"));
+        assert_eq!(map.find(&1, 2), None);
+        assert!(map.extract_history(&99).is_empty());
+    }
+
+    #[test]
+    fn range_queries() {
+        let map: VersionedMap<String, u32> = VersionedMap::new();
+        for name in ["apple", "banana", "cherry", "date", "elderberry"] {
+            map.insert(name.into(), name.len() as u32);
+        }
+        let v = map.tag();
+        let mid = map.extract_range(v, &"b".into(), &"d".into());
+        let names: Vec<&str> = mid.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["banana", "cherry"]);
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_keys() {
+        let map: std::sync::Arc<VersionedMap<u64, Vec<u64>>> =
+            std::sync::Arc::new(VersionedMap::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let map = map.clone();
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        map.insert(t * 1000 + i, vec![t, i]);
+                    }
+                });
+            }
+        });
+        map.wait_writes_complete();
+        assert_eq!(map.tag(), 4000);
+        let snap = map.extract_snapshot(map.tag());
+        assert_eq!(snap.len(), 4000);
+        for (&k, v) in &snap {
+            assert_eq!(v[0] * 1000 + v[1], k);
+        }
+    }
+
+    #[test]
+    fn drop_reclaims_all_values() {
+        // Heap-heavy values; failure mode would be a leak (caught by
+        // sanitizers) or a double free (caught by the allocator).
+        let map: VersionedMap<u64, String> = VersionedMap::new();
+        for i in 0..10_000u64 {
+            map.insert(i % 100, format!("value-{i}"));
+        }
+        for i in 0..50u64 {
+            map.remove(i);
+        }
+        drop(map);
+    }
+
+    #[test]
+    fn snapshot_isolation_under_writer() {
+        let map: std::sync::Arc<VersionedMap<u64, u64>> = std::sync::Arc::new(VersionedMap::new());
+        for i in 0..1000 {
+            map.insert(i, i * 2);
+        }
+        let cut = map.tag();
+        let m2 = map.clone();
+        let writer = std::thread::spawn(move || {
+            for i in 0..1000 {
+                m2.insert(i, 0);
+            }
+        });
+        // Reads at the cut never see the overwrites.
+        for _ in 0..20 {
+            let snap = map.extract_snapshot(cut);
+            assert_eq!(snap.len(), 1000);
+            for (&k, &v) in &snap {
+                assert_eq!(v, k * 2);
+            }
+        }
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,394 @@
+//! The block-chain data structure.
+//!
+//! On-media layout (offsets pool-relative, all words u64):
+//!
+//! ```text
+//! ChainHdr (32 B):          Block (32 B + cap·16 B):
+//!   +0  head block            +0  next block (0 = none)
+//!   +8  tail hint             +8  used (claim counter, may overshoot cap)
+//!   +16 pair count            +16 sequence index (0, 1, 2, …)
+//!   +24 block capacity        +24 reserved
+//!                             +32 pairs [key, hist] × cap
+//! ```
+
+use mvkv_pmem::{PPtr, PmemPool, Result};
+use std::sync::atomic::Ordering;
+
+/// Default pairs per block. 512 pairs = 8 KiB blocks: new-block allocation
+/// is rare (the paper's requirement) yet rebuild work splits evenly.
+pub const DEFAULT_BLOCK_CAP: u64 = 512;
+
+const HDR_SIZE: usize = 32;
+const BLOCK_HDR: u64 = 32;
+const PAIR_SIZE: u64 = 16;
+
+/// Opaque marker for chain header offsets.
+pub struct ChainHdr(());
+
+/// Handle to a persistent key block chain.
+///
+/// # Examples
+///
+/// ```
+/// use mvkv_keychain::{KeyChain, rebuild_into};
+/// use mvkv_pmem::PmemPool;
+///
+/// let pool = PmemPool::create_volatile(1 << 22)?;
+/// let chain = KeyChain::create(&pool, 512)?;
+/// chain.append(42, 0x1000)?; // (key, history offset)
+/// chain.append(7, 0x2000)?;
+///
+/// // Parallel reconstruction: thread tid of T claims blocks with
+/// // index % T == tid.
+/// let stats = rebuild_into(&chain, 4, |key, hist| {
+///     let _ = (key, hist); // feed the ephemeral index
+/// });
+/// assert_eq!(stats.pairs, 2);
+/// # Ok::<(), mvkv_pmem::PmemError>(())
+/// ```
+#[derive(Clone, Copy)]
+pub struct KeyChain<'p> {
+    pool: &'p PmemPool,
+    hdr: u64,
+    cap: u64,
+}
+
+/// Result of post-crash claim-counter repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    pub blocks: u64,
+    /// Blocks whose `used` counter had to be raised to cover valid pairs.
+    pub repaired_counters: u64,
+    /// Valid pairs discovered.
+    pub valid_pairs: u64,
+}
+
+impl<'p> KeyChain<'p> {
+    /// Allocates an empty chain with the given block capacity.
+    pub fn create(pool: &'p PmemPool, block_cap: u64) -> Result<Self> {
+        assert!(block_cap >= 1);
+        let hdr = pool.alloc(HDR_SIZE)?;
+        pool.write_u64(hdr, 0);
+        pool.write_u64(hdr + 8, 0);
+        pool.write_u64(hdr + 16, 0);
+        pool.write_u64(hdr + 24, block_cap);
+        pool.persist(hdr, HDR_SIZE);
+        pool.fence();
+        Ok(KeyChain { pool, hdr, cap: block_cap })
+    }
+
+    /// Wraps an existing chain.
+    pub fn open(pool: &'p PmemPool, hdr: PPtr<ChainHdr>) -> Self {
+        let cap = pool.read_u64(hdr.off() + 24);
+        KeyChain { pool, hdr: hdr.off(), cap }
+    }
+
+    pub fn pptr(&self) -> PPtr<ChainHdr> {
+        PPtr::from_off(self.hdr)
+    }
+
+    pub fn block_cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Approximate number of appended pairs (exact when quiescent).
+    pub fn len(&self) -> u64 {
+        self.pool.read_u64(self.hdr + 16)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn block_bytes(&self) -> u64 {
+        BLOCK_HDR + self.cap * PAIR_SIZE
+    }
+
+    /// Allocates a zeroed block with sequence number `index` and CASes it
+    /// into `link_off`. Returns the winning block offset (ours or the
+    /// racing winner's).
+    fn extend(&self, link_off: u64, index: u64) -> Result<u64> {
+        let existing = self.pool.atomic_u64(link_off).load(Ordering::Acquire);
+        if existing != 0 {
+            return Ok(existing);
+        }
+        let bytes = self.block_bytes();
+        let off = self.pool.alloc(bytes as usize)?;
+        unsafe { self.pool.write_bytes(off, &vec![0u8; bytes as usize]) };
+        self.pool.write_u64(off + 16, index);
+        self.pool.persist(off, bytes as usize);
+        self.pool.fence();
+        match self.pool.atomic_u64(link_off).compare_exchange(
+            0,
+            off,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                self.pool.persist(link_off, 8);
+                self.pool.fence();
+                Ok(off)
+            }
+            Err(winner) => {
+                self.pool.dealloc(off);
+                Ok(winner)
+            }
+        }
+    }
+
+    /// Appends a `(key, history)` pair. `hist` must be non-zero (it is a
+    /// pmem payload offset, which is never 0) — zero is the torn-pair
+    /// sentinel. Lock-free; safe from any number of threads.
+    pub fn append(&self, key: u64, hist: u64) -> Result<()> {
+        debug_assert_ne!(hist, 0, "history offset 0 is reserved as the invalid marker");
+        // Start from the tail hint (or head) and roll forward.
+        let mut block = self.pool.atomic_u64(self.hdr + 8).load(Ordering::Acquire);
+        if block == 0 {
+            block = self.extend(self.hdr, 0)?;
+        }
+        loop {
+            let used = self.pool.atomic_u64(block + 8).fetch_add(1, Ordering::AcqRel);
+            if used < self.cap {
+                self.pool.persist(block + 8, 8);
+                let pair = block + BLOCK_HDR + used * PAIR_SIZE;
+                self.pool.write_u64(pair, key);
+                self.pool.atomic_u64(pair + 8).store(hist, Ordering::Release);
+                self.pool.persist(pair, PAIR_SIZE as usize);
+                self.pool.fence();
+                self.pool.atomic_u64(self.hdr + 16).fetch_add(1, Ordering::AcqRel);
+                self.pool.persist(self.hdr + 16, 8);
+                return Ok(());
+            }
+            // Tail block full: move to (or create) the next block.
+            let index = self.pool.read_u64(block + 16);
+            let next = self.extend(block, index + 1)?;
+            // Advance the hint monotonically by block index.
+            let hint_cell = self.pool.atomic_u64(self.hdr + 8);
+            let hint = hint_cell.load(Ordering::Acquire);
+            let hint_idx = if hint == 0 { 0 } else { self.pool.read_u64(hint + 16) };
+            if hint == 0 || hint_idx <= index {
+                let _ = hint_cell.compare_exchange(hint, next, Ordering::AcqRel, Ordering::Acquire);
+            }
+            block = next;
+        }
+    }
+
+    /// Iterates `(block_offset, block_index)` from head to tail.
+    pub fn blocks(&self) -> impl Iterator<Item = (u64, u64)> + 'p {
+        let pool = self.pool;
+        let mut off = pool.read_u64(self.hdr);
+        std::iter::from_fn(move || {
+            if off == 0 {
+                return None;
+            }
+            let this = off;
+            let index = pool.read_u64(this + 16);
+            off = pool.read_u64(this);
+            Some((this, index))
+        })
+    }
+
+    /// Iterates all valid pairs `(key, hist)` of one block.
+    pub fn block_pairs(&self, block_off: u64) -> impl Iterator<Item = (u64, u64)> + 'p {
+        let pool = self.pool;
+        let cap = self.cap;
+        let used = pool.read_u64(block_off + 8).min(cap);
+        let mut slot = 0u64;
+        std::iter::from_fn(move || {
+            while slot < used {
+                let pair = block_off + BLOCK_HDR + slot * PAIR_SIZE;
+                slot += 1;
+                let hist = pool.atomic_u64(pair + 8).load(Ordering::Acquire);
+                if hist != 0 {
+                    return Some((pool.read_u64(pair), hist));
+                }
+            }
+            None
+        })
+    }
+
+    /// Iterates every valid pair in the chain (single-threaded).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + 'p {
+        let this = *self;
+        self.blocks().flat_map(move |(off, _)| this.block_pairs(off))
+    }
+
+    /// Post-crash repair: raises each block's `used` counter to cover the
+    /// highest valid pair (a crash may persist a pair but not the counter),
+    /// and recomputes the total pair count. Call before any append after a
+    /// reopen.
+    pub fn repair(&self) -> RepairStats {
+        let mut stats = RepairStats::default();
+        let mut total = 0u64;
+        for (block, _) in self.blocks() {
+            stats.blocks += 1;
+            let used_cell = self.pool.atomic_u64(block + 8);
+            let persisted = used_cell.load(Ordering::Acquire).min(self.cap);
+            let mut highest_valid = 0u64; // slots above this index are torn
+            for slot in 0..self.cap {
+                let pair = block + BLOCK_HDR + slot * PAIR_SIZE;
+                if self.pool.atomic_u64(pair + 8).load(Ordering::Acquire) != 0 {
+                    highest_valid = slot + 1;
+                    stats.valid_pairs += 1;
+                }
+            }
+            let needed = persisted.max(highest_valid);
+            if needed > persisted || used_cell.load(Ordering::Acquire) > self.cap {
+                used_cell.store(needed, Ordering::Release);
+                self.pool.persist(block + 8, 8);
+                stats.repaired_counters += 1;
+            }
+            total += self.block_pairs(block).count() as u64;
+        }
+        self.pool.write_u64(self.hdr + 16, total);
+        self.pool.persist(self.hdr + 16, 8);
+        self.pool.fence();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn pool() -> PmemPool {
+        PmemPool::create_volatile(1 << 24).unwrap()
+    }
+
+    #[test]
+    fn empty_chain() {
+        let p = pool();
+        let c = KeyChain::create(&p, 4).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
+        assert_eq!(c.blocks().count(), 0);
+    }
+
+    #[test]
+    fn append_within_one_block() {
+        let p = pool();
+        let c = KeyChain::create(&p, 8).unwrap();
+        for i in 1..=5u64 {
+            c.append(i * 10, i * 100).unwrap();
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.blocks().count(), 1);
+        let pairs: Vec<(u64, u64)> = c.iter().collect();
+        assert_eq!(pairs, vec![(10, 100), (20, 200), (30, 300), (40, 400), (50, 500)]);
+    }
+
+    #[test]
+    fn chain_grows_blocks_with_sequential_indices() {
+        let p = pool();
+        let c = KeyChain::create(&p, 3).unwrap();
+        for i in 1..=10u64 {
+            c.append(i, i).unwrap();
+        }
+        let indices: Vec<u64> = c.blocks().map(|(_, idx)| idx).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3], "10 pairs / cap 3 = 4 blocks");
+        assert_eq!(c.iter().count(), 10);
+    }
+
+    #[test]
+    fn survives_pool_reopen() {
+        let p = pool();
+        let hdr;
+        {
+            let c = KeyChain::create(&p, 4).unwrap();
+            hdr = c.pptr();
+            for i in 1..=9u64 {
+                c.append(i, i + 1000).unwrap();
+            }
+        }
+        let image = unsafe { p.bytes(0, p.len()).to_vec() };
+        let rp = PmemPool::open_image(&image).unwrap();
+        let c = KeyChain::open(&rp, hdr);
+        assert_eq!(c.block_cap(), 4);
+        let pairs: Vec<(u64, u64)> = c.iter().collect();
+        assert_eq!(pairs.len(), 9);
+        assert_eq!(pairs[0], (1, 1001));
+        assert_eq!(pairs[8], (9, 1009));
+    }
+
+    #[test]
+    fn concurrent_appends_lose_nothing() {
+        let p = Arc::new(pool());
+        let c = KeyChain::create(&p, 16).unwrap();
+        let hdr = c.pptr();
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let c = KeyChain::open(&p, hdr);
+                    for i in 0..500u64 {
+                        let key = t * 1_000_000 + i;
+                        c.append(key, key + 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let pairs: Vec<(u64, u64)> = c.iter().collect();
+        assert_eq!(pairs.len(), 4000);
+        let keys: HashSet<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys.len(), 4000, "no duplicates, no losses");
+        for (k, h) in pairs {
+            assert_eq!(h, k + 1);
+        }
+        assert_eq!(c.len(), 4000);
+    }
+
+    #[test]
+    fn repair_raises_torn_used_counter() {
+        let p = pool();
+        let c = KeyChain::create(&p, 8).unwrap();
+        for i in 1..=5u64 {
+            c.append(i, i).unwrap();
+        }
+        // Simulate a crash that lost the counter update but kept the pairs.
+        let (block, _) = c.blocks().next().unwrap();
+        p.write_u64(block + 8, 2);
+        assert_eq!(c.iter().count(), 2, "stale counter hides pairs");
+        let stats = c.repair();
+        assert_eq!(stats.blocks, 1);
+        assert_eq!(stats.repaired_counters, 1);
+        assert_eq!(c.iter().count(), 5, "repair recovers all valid pairs");
+        // Appends continue in fresh slots.
+        c.append(99, 99).unwrap();
+        assert_eq!(c.iter().count(), 6);
+    }
+
+    #[test]
+    fn repair_clamps_overshot_counter() {
+        let p = pool();
+        let c = KeyChain::create(&p, 2).unwrap();
+        for i in 1..=2u64 {
+            c.append(i, i).unwrap();
+        }
+        // The claim counter overshoots when racing threads fill a block;
+        // simulate a persisted overshoot.
+        let (block, _) = c.blocks().next().unwrap();
+        p.write_u64(block + 8, 7);
+        let stats = c.repair();
+        assert_eq!(stats.valid_pairs, 2);
+        assert_eq!(p.read_u64(block + 8), 2, "counter clamped to cap-bounded valid range");
+    }
+
+    #[test]
+    fn torn_pair_is_skipped() {
+        let p = pool();
+        let c = KeyChain::create(&p, 8).unwrap();
+        c.append(1, 100).unwrap();
+        c.append(2, 200).unwrap();
+        // Tear pair 1: hist word zeroed (key persisted, hist did not reach
+        // media before the crash).
+        let (block, _) = c.blocks().next().unwrap();
+        p.write_u64(block + 32 + 16 + 8, 0);
+        let pairs: Vec<(u64, u64)> = c.iter().collect();
+        assert_eq!(pairs, vec![(1, 100)]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fixed-size pages and field accessors.
+
+/// Page size in bytes (SQLite's modern default).
+pub const PAGE_SIZE: usize = 4096;
+
+/// One page buffer. Boxed so moves are pointer-sized.
+#[derive(Clone)]
+pub struct PageBuf(pub Box<[u8; PAGE_SIZE]>);
+
+impl PageBuf {
+    pub fn zeroed() -> Self {
+        PageBuf(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("exact size"))
+    }
+
+    #[inline]
+    pub fn get_u8(&self, off: usize) -> u8 {
+        self.0[off]
+    }
+
+    #[inline]
+    pub fn put_u8(&mut self, off: usize, v: u8) {
+        self.0[off] = v;
+    }
+
+    #[inline]
+    pub fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.0[off..off + 2].try_into().expect("in bounds"))
+    }
+
+    #[inline]
+    pub fn put_u16(&mut self, off: usize, v: u16) {
+        self.0[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.0[off..off + 8].try_into().expect("in bounds"))
+    }
+
+    #[inline]
+    pub fn put_u64(&mut self, off: usize, v: u64) {
+        self.0[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Shifts `len` bytes at `src` to `dst` within the page (memmove).
+    pub fn shift(&mut self, src: usize, dst: usize, len: usize) {
+        self.0.copy_within(src..src + len, dst);
+    }
+
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.0
+    }
+
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.0
+    }
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageBuf(type={})", self.get_u8(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_accessors() {
+        let mut p = PageBuf::zeroed();
+        p.put_u8(0, 7);
+        p.put_u16(2, 1234);
+        p.put_u64(8, u64::MAX - 5);
+        assert_eq!(p.get_u8(0), 7);
+        assert_eq!(p.get_u16(2), 1234);
+        assert_eq!(p.get_u64(8), u64::MAX - 5);
+    }
+
+    #[test]
+    fn shift_moves_ranges() {
+        let mut p = PageBuf::zeroed();
+        for i in 0..10 {
+            p.put_u8(100 + i, i as u8 + 1);
+        }
+        p.shift(100, 104, 10); // open a 4-byte gap
+        assert_eq!(p.get_u8(104), 1);
+        assert_eq!(p.get_u8(113), 10);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = PageBuf::zeroed();
+        a.put_u64(0, 42);
+        let b = a.clone();
+        a.put_u64(0, 99);
+        assert_eq!(b.get_u64(0), 42);
+    }
+}

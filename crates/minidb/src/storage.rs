@@ -1,0 +1,163 @@
+//! Durable page storage: a file (the `DbReg` persistent mode) or a plain
+//! memory vector (the `DbMem` in-memory mode).
+
+use crate::page::{PageBuf, PAGE_SIZE};
+use crate::Result;
+use parking_lot::RwLock;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Random-access page storage. All methods are callable concurrently.
+pub trait Storage: Send + Sync {
+    fn read_page(&self, id: u64, buf: &mut PageBuf) -> Result<()>;
+    fn write_page(&self, id: u64, buf: &PageBuf) -> Result<()>;
+    /// Number of pages the storage currently holds.
+    fn page_count(&self) -> u64;
+    /// Durability barrier (fsync for files, no-op for memory).
+    fn sync(&self) -> Result<()>;
+}
+
+/// File-backed storage using positional reads/writes.
+pub struct FileStorage {
+    file: File,
+    pages: AtomicU64,
+}
+
+impl FileStorage {
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStorage { file, pages: AtomicU64::new(0) })
+    }
+
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileStorage { file, pages: AtomicU64::new(len / PAGE_SIZE as u64) })
+    }
+}
+
+impl Storage for FileStorage {
+    fn read_page(&self, id: u64, buf: &mut PageBuf) -> Result<()> {
+        self.file.read_exact_at(buf.as_bytes_mut().as_mut_slice(), id * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    fn write_page(&self, id: u64, buf: &PageBuf) -> Result<()> {
+        self.file.write_all_at(buf.as_bytes().as_slice(), id * PAGE_SIZE as u64)?;
+        self.pages.fetch_max(id + 1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.load(Ordering::Acquire)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// In-memory storage (no durability): a growable vector of pages.
+pub struct MemStorage {
+    pages: RwLock<Vec<PageBuf>>,
+}
+
+impl MemStorage {
+    pub fn new() -> Self {
+        MemStorage { pages: RwLock::new(Vec::new()) }
+    }
+}
+
+impl Default for MemStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read_page(&self, id: u64, buf: &mut PageBuf) -> Result<()> {
+        let pages = self.pages.read();
+        match pages.get(id as usize) {
+            Some(p) => {
+                buf.as_bytes_mut().copy_from_slice(p.as_bytes().as_slice());
+                Ok(())
+            }
+            None => Err(crate::DbError::Corrupt("read past end of memory storage")),
+        }
+    }
+
+    fn write_page(&self, id: u64, buf: &PageBuf) -> Result<()> {
+        let mut pages = self.pages.write();
+        while pages.len() <= id as usize {
+            pages.push(PageBuf::zeroed());
+        }
+        pages[id as usize] = buf.clone();
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.read().len() as u64
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_roundtrip(s: &dyn Storage) {
+        let mut w = PageBuf::zeroed();
+        w.put_u64(0, 111);
+        s.write_page(0, &w).unwrap();
+        w.put_u64(0, 333);
+        s.write_page(2, &w).unwrap();
+        assert!(s.page_count() >= 3);
+
+        let mut r = PageBuf::zeroed();
+        s.read_page(0, &mut r).unwrap();
+        assert_eq!(r.get_u64(0), 111);
+        s.read_page(2, &mut r).unwrap();
+        assert_eq!(r.get_u64(0), 333);
+        s.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_storage_roundtrip() {
+        check_roundtrip(&MemStorage::new());
+    }
+
+    #[test]
+    fn file_storage_roundtrip_and_reopen() {
+        let path = std::env::temp_dir().join(format!("minidb-storage-{}.db", std::process::id()));
+        {
+            let s = FileStorage::create(&path).unwrap();
+            check_roundtrip(&s);
+        }
+        {
+            let s = FileStorage::open(&path).unwrap();
+            assert_eq!(s.page_count(), 3);
+            let mut r = PageBuf::zeroed();
+            s.read_page(2, &mut r).unwrap();
+            assert_eq!(r.get_u64(0), 333);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mem_read_past_end_errors() {
+        let s = MemStorage::new();
+        let mut b = PageBuf::zeroed();
+        assert!(s.read_page(5, &mut b).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! On-media layout constants of a pmem pool.
+//!
+//! ```text
+//! offset 0    ┌─────────────────────────────────────────────┐
+//!             │ superblock (one 4 KiB page)                 │
+//!             │   0  magic                                  │
+//!             │   8  layout version                         │
+//!             │  16  pool length (bytes)                    │
+//!             │  24  root offset (user-defined entry point) │
+//!             │  32  bump cursor (atomic)                   │
+//!             │  40  clean-shutdown flag                    │
+//!             ├─────────────────────────────────────────────┤
+//! HEAP_START  │ heap: contiguous stream of blocks           │
+//!             │   [size u64 | state u64 | payload …]        │
+//!             │   each block 16-aligned, never split        │
+//!             └─────────────────────────────────────────────┘
+//! ```
+
+/// "MVKVPMEM" interpreted little-endian.
+pub const MAGIC: u64 = 0x4D45_4D50_564B_564D;
+
+/// Bumped whenever the on-media layout changes incompatibly.
+pub const LAYOUT_VERSION: u64 = 1;
+
+/// Superblock field offsets.
+pub const OFF_MAGIC: u64 = 0;
+pub const OFF_VERSION: u64 = 8;
+pub const OFF_POOL_LEN: u64 = 16;
+pub const OFF_ROOT: u64 = 24;
+pub const OFF_BUMP: u64 = 32;
+pub const OFF_CLEAN_SHUTDOWN: u64 = 40;
+/// Offset of the transaction undo log (0 = never allocated).
+pub const OFF_TXN_LOG: u64 = 48;
+
+/// First heap byte; also the superblock size. One page keeps the hot bump
+/// cursor away from user cache lines.
+pub const HEAP_START: u64 = 4096;
+
+/// Minimum pool size: superblock plus one page of heap.
+pub const MIN_POOL_LEN: usize = (HEAP_START as usize) * 2;
+
+/// Allocation granularity and payload alignment guarantee.
+pub const BLOCK_ALIGN: u64 = 16;
+
+/// Per-block header: `[size: u64][state: u64]` preceding the payload.
+pub const BLOCK_HEADER: u64 = 16;
+
+/// `state` values stored in block headers.
+pub const STATE_FREE: u64 = 0xF4EE_F4EE_F4EE_F4EE;
+pub const STATE_ALLOCATED: u64 = 0xA110_CA7E_A110_CA7E;
+
+/// Size classes for small allocations (payload capacities, bytes).
+pub const SIZE_CLASSES: [usize; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Number of small size classes.
+pub const NUM_CLASSES: usize = SIZE_CLASSES.len();
+
+/// Cache-line granularity used by `persist` and the crash simulator.
+pub const CACHE_LINE: usize = 64;
+
+/// Returns the index of the smallest size class that fits `len` payload
+/// bytes, or `None` if `len` needs the large-allocation path.
+#[inline]
+pub fn class_for(len: usize) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|&c| len <= c)
+}
+
+/// Rounds `len` up to the block alignment.
+#[inline]
+pub fn round_up(len: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (len + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_for_picks_tightest_fit() {
+        assert_eq!(class_for(1), Some(0));
+        assert_eq!(class_for(16), Some(0));
+        assert_eq!(class_for(17), Some(1));
+        assert_eq!(class_for(4096), Some(8));
+        assert_eq!(class_for(4097), None);
+    }
+
+    #[test]
+    fn classes_are_sorted_and_aligned() {
+        for w in SIZE_CLASSES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &c in &SIZE_CLASSES {
+            assert_eq!(c as u64 % BLOCK_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn round_up_behaviour() {
+        assert_eq!(round_up(0, 16), 0);
+        assert_eq!(round_up(1, 16), 16);
+        assert_eq!(round_up(16, 16), 16);
+        assert_eq!(round_up(17, 16), 32);
+    }
+
+    #[test]
+    fn superblock_fields_fit_before_heap() {
+        const { assert!(OFF_TXN_LOG + 8 <= HEAP_START) };
+    }
+
+    #[test]
+    fn states_are_distinct_and_nonzero() {
+        assert_ne!(STATE_FREE, STATE_ALLOCATED);
+        assert_ne!(STATE_FREE, 0);
+        assert_ne!(STATE_ALLOCATED, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! # mvkv-pmem — persistent-memory substrate
+//!
+//! The paper stores its compact multi-version representation in persistent
+//! memory via Intel PMDK's `libpmemobj-cpp`, emulated over `/dev/shm`
+//! (paper §V-A). No production-grade PMDK binding exists for Rust, so this
+//! crate implements the required substrate from scratch:
+//!
+//! * [`PmemPool`] — a fixed-size pool of byte-addressable persistent memory
+//!   with a validated superblock, a designated *root* offset, and a
+//!   thread-safe persistent allocator.
+//! * [`PPtr`] — an 8-byte, pool-relative persistent pointer that stays valid
+//!   when the pool is re-mapped at a different base address.
+//! * Backends: [`backend::FileBacked`] (mmap over `/dev/shm` or any file
+//!   system — the same PM emulation the paper uses), [`backend::Volatile`]
+//!   (heap, for tests), and [`backend::CrashSim`] (volatile front + durable
+//!   shadow that only receives explicitly persisted cache lines — used to
+//!   test crash-consistency invariants).
+//!
+//! ## Persistence model
+//!
+//! The pool exposes the PM programming primitives the paper's algorithms
+//! rely on: 8-byte atomic stores ([`PmemPool::atomic_u64`]), explicit
+//! flushes ([`PmemPool::persist`], the `clwb` analogue) and ordering fences
+//! ([`PmemPool::fence`]). On the crash-simulation backend only data that was
+//! explicitly persisted (plus, optionally, randomly "evicted" cache lines —
+//! real PM may persist more than requested, never less) survives a crash.
+//!
+//! ## Allocator crash invariants
+//!
+//! Block headers are written and persisted *before* user data; the heap is a
+//! contiguous walkable stream of `[size, state]`-headed blocks, so
+//! [`PmemPool::open_file`] re-derives free lists by scanning. A crash in the
+//! middle of an allocation leaks at most the in-flight block (audited by
+//! [`recovery::HeapAudit`]).
+
+pub mod alloc;
+pub mod backend;
+pub mod layout;
+pub mod pool;
+pub mod pptr;
+pub mod recovery;
+pub mod txn;
+
+pub use backend::{Backend, CrashOptions, CrashSim, FileBacked, Volatile};
+pub use pool::PmemPool;
+pub use pptr::PPtr;
+pub use recovery::HeapAudit;
+
+/// Errors reported by the persistent-memory substrate.
+#[derive(Debug)]
+pub enum PmemError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// Pool image is not a valid mvkv pool (bad magic / truncated).
+    BadMagic,
+    /// Pool was created by an incompatible layout version.
+    BadLayoutVersion { found: u64, expected: u64 },
+    /// Recorded pool length disagrees with the mapped length.
+    LengthMismatch { recorded: u64, mapped: u64 },
+    /// The pool has no space left for the requested allocation.
+    OutOfMemory { requested: usize },
+    /// An offset/length pair fell outside the pool.
+    OutOfBounds { offset: u64, len: usize },
+    /// Requested pool size is too small to hold the superblock.
+    PoolTooSmall { requested: usize, minimum: usize },
+}
+
+impl std::fmt::Display for PmemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmemError::Io(e) => write!(f, "pmem I/O error: {e}"),
+            PmemError::BadMagic => write!(f, "not a valid mvkv pmem pool (bad magic)"),
+            PmemError::BadLayoutVersion { found, expected } => {
+                write!(f, "incompatible pool layout version {found} (expected {expected})")
+            }
+            PmemError::LengthMismatch { recorded, mapped } => {
+                write!(f, "pool length mismatch: superblock says {recorded}, mapped {mapped}")
+            }
+            PmemError::OutOfMemory { requested } => {
+                write!(f, "pmem pool out of memory (requested {requested} bytes)")
+            }
+            PmemError::OutOfBounds { offset, len } => {
+                write!(f, "pmem access out of bounds: offset {offset} len {len}")
+            }
+            PmemError::PoolTooSmall { requested, minimum } => {
+                write!(f, "pool size {requested} below minimum {minimum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmemError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PmemError {
+    fn from(e: std::io::Error) -> Self {
+        PmemError::Io(e)
+    }
+}
+
+/// Convenience result alias for pmem operations.
+pub type Result<T> = std::result::Result<T, PmemError>;

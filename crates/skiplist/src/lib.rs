@@ -1,0 +1,27 @@
+//! # mvkv-skiplist — lock-free, insert-only concurrent skip list
+//!
+//! The ephemeral index of the paper's hybrid design (§IV-A/§IV-B): keys are
+//! indexed by a lock-free skip list whose nodes carry a single 64-bit
+//! payload (for PSkipList, the persistent offset of the key's version
+//! history; for ESkipList, a heap pointer).
+//!
+//! Because removals in the multi-version store are *logical* (a tombstone is
+//! appended to the key's history), the index never unlinks nodes. The paper
+//! exploits exactly this: *"Since there is no need to support removal from
+//! the skip list itself, the implementation can be simplified to use raw
+//! pointers in compare-and-exchange operations"* — no deletion marks, no
+//! hazard pointers, no epochs. Nodes live until the list is dropped.
+//!
+//! Concurrency protocol (paper §IV-B):
+//! * The internal `find` routine implements Algorithm 2: a top-down scan collecting
+//!   the predecessor cell and successor node per level.
+//! * Insertion CASes the level-0 predecessor cell (the linearization
+//!   point), then links upper levels with per-level retries.
+//! * If two threads race to insert the same key, the loser detects the
+//!   winner at the level-0 CAS, frees its own node and *"reuses the pointer
+//!   of the faster thread"* — surfaced to callers as
+//!   [`InsertOutcome::Lost`] so they can reclaim the payload they created.
+
+mod list;
+
+pub use list::{InsertOutcome, Iter, SkipList, MAX_HEIGHT};

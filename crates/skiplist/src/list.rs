@@ -1,0 +1,499 @@
+//! The skip-list implementation. See crate docs for the protocol overview.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum tower height. With p = 1/2 this comfortably indexes 2^20+ keys
+/// at the paper's scale (10^6–2·10^6 keys per node).
+pub const MAX_HEIGHT: usize = 24;
+
+struct Node<K> {
+    key: K,
+    value: AtomicU64,
+    next: Box<[AtomicPtr<Node<K>>]>,
+}
+
+impl<K> Node<K> {
+    fn alloc(key: K, value: u64, height: usize) -> *mut Node<K> {
+        let next: Box<[AtomicPtr<Node<K>>]> =
+            (0..height).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+        Box::into_raw(Box::new(Node { key, value: AtomicU64::new(value), next }))
+    }
+}
+
+/// Result of [`SkipList::insert_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The key was absent; this thread's payload is now installed.
+    Inserted(u64),
+    /// Another thread installed the key first (or it already existed).
+    /// `existing` is the installed payload; `yours` is the payload this
+    /// thread created (if the factory ran) and must now reclaim.
+    Lost { existing: u64, yours: Option<u64> },
+}
+
+impl InsertOutcome {
+    /// The payload now associated with the key, whoever installed it.
+    pub fn payload(&self) -> u64 {
+        match *self {
+            InsertOutcome::Inserted(v) => v,
+            InsertOutcome::Lost { existing, .. } => existing,
+        }
+    }
+
+    /// True if this thread's insertion won.
+    pub fn inserted(&self) -> bool {
+        matches!(self, InsertOutcome::Inserted(_))
+    }
+}
+
+/// A lock-free, insert-only ordered map from `K` to a 64-bit payload.
+///
+/// # Examples
+///
+/// ```
+/// use mvkv_skiplist::SkipList;
+///
+/// let list = SkipList::new();
+/// list.insert_with(5u64, || 50);
+/// list.insert_with(1u64, || 10);
+/// assert_eq!(list.get(&5), Some(50));
+/// let keys: Vec<u64> = list.iter().map(|(&k, _)| k).collect();
+/// assert_eq!(keys, vec![1, 5]); // always in key order
+/// ```
+pub struct SkipList<K> {
+    head: Box<[AtomicPtr<Node<K>>]>,
+    max_level: AtomicUsize,
+    len: AtomicU64,
+    height_seed: AtomicU64,
+}
+
+// Safety: nodes are immutable after publication except their atomic fields;
+// all links are atomic pointers.
+unsafe impl<K: Send> Send for SkipList<K> {}
+unsafe impl<K: Send + Sync> Sync for SkipList<K> {}
+
+impl<K: Ord> SkipList<K> {
+    pub fn new() -> Self {
+        SkipList {
+            head: (0..MAX_HEIGHT).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            max_level: AtomicUsize::new(1),
+            len: AtomicU64::new(0),
+            height_seed: AtomicU64::new(0x5EED_1234_5678_9ABC),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Geometric tower height (p = 1/2), deterministic given insert order.
+    fn random_height(&self) -> usize {
+        let x = self.height_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    /// The cell holding the level-`level` link out of `pred`
+    /// (null `pred` = the head tower).
+    #[inline]
+    fn cell(&self, pred: *mut Node<K>, level: usize) -> &AtomicPtr<Node<K>> {
+        if pred.is_null() {
+            &self.head[level]
+        } else {
+            // Safety: pred was observed via an Acquire load and is never freed
+            // while the list lives (insert-only).
+            unsafe { &(*pred).next[level] }
+        }
+    }
+
+    /// Algorithm 2 (`FindSkip`): per level, the predecessor node (null =
+    /// head) and the successor (first node with key ≥ `key`, null = end).
+    /// Returns the level-0 match if the key is present.
+    fn find(
+        &self,
+        key: &K,
+        preds: &mut [*mut Node<K>; MAX_HEIGHT],
+        succs: &mut [*mut Node<K>; MAX_HEIGHT],
+    ) -> *mut Node<K> {
+        let top = self.max_level.load(Ordering::Acquire);
+        let mut pred: *mut Node<K> = std::ptr::null_mut();
+        let mut level = top - 1;
+        loop {
+            let mut curr = self.cell(pred, level).load(Ordering::Acquire);
+            // Safety: nodes are never freed while the list lives.
+            while !curr.is_null() && unsafe { &(*curr).key } < key {
+                pred = curr;
+                curr = self.cell(pred, level).load(Ordering::Acquire);
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+            if level == 0 {
+                let found =
+                    !curr.is_null() && unsafe { &(*curr).key } == key;
+                return if found { curr } else { std::ptr::null_mut() };
+            }
+            level -= 1;
+        }
+    }
+
+    /// Looks up the payload for `key`.
+    pub fn get(&self, key: &K) -> Option<u64> {
+        let mut preds = [std::ptr::null_mut(); MAX_HEIGHT];
+        let mut succs = [std::ptr::null_mut(); MAX_HEIGHT];
+        let node = self.find(key, &mut preds, &mut succs);
+        if node.is_null() {
+            None
+        } else {
+            // Safety: found nodes stay alive with the list.
+            Some(unsafe { (*node).value.load(Ordering::Acquire) })
+        }
+    }
+
+    /// Inserts `key` with a payload produced by `factory` (called at most
+    /// once, only when the key appears absent). On a duplicate-key race the
+    /// loser's node is freed here; any payload the factory produced is
+    /// handed back via [`InsertOutcome::Lost::yours`] for caller cleanup.
+    pub fn insert_with<F: FnOnce() -> u64>(&self, key: K, factory: F) -> InsertOutcome {
+        let mut preds = [std::ptr::null_mut(); MAX_HEIGHT];
+        let mut succs = [std::ptr::null_mut(); MAX_HEIGHT];
+
+        let existing = self.find(&key, &mut preds, &mut succs);
+        if !existing.is_null() {
+            // Safety: node outlives the call.
+            let value = unsafe { (*existing).value.load(Ordering::Acquire) };
+            return InsertOutcome::Lost { existing: value, yours: None };
+        }
+
+        let height = self.random_height();
+        let value = factory();
+        let node = Node::alloc(key, value, height);
+
+        // Raise the list's active level first so finds can see tall towers.
+        let mut top = self.max_level.load(Ordering::Acquire);
+        while height > top {
+            match self.max_level.compare_exchange_weak(
+                top,
+                height,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(t) => top = t,
+            }
+        }
+
+        // Level-0 CAS is the linearization point; retry on any interference.
+        loop {
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                // Safety: node is still private to this thread.
+                unsafe { (*node).next[level].store(*succ, Ordering::Relaxed) };
+            }
+            let cell0 = self.cell(preds[0], 0);
+            match cell0.compare_exchange(succs[0], node, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => break,
+                Err(_) => {
+                    // Something changed next to us: re-scan.
+                    let winner = self.find(unsafe { &(*node).key }, &mut preds, &mut succs);
+                    if !winner.is_null() {
+                        // Duplicate-key race lost: free our unpublished node,
+                        // surface our payload for cleanup, adopt the winner's.
+                        let existing = unsafe { (*winner).value.load(Ordering::Acquire) };
+                        // Safety: node never became reachable.
+                        drop(unsafe { Box::from_raw(node) });
+                        return InsertOutcome::Lost { existing, yours: Some(value) };
+                    }
+                }
+            }
+        }
+
+        // Link the upper levels; each may need its own re-scan loop.
+        for level in 1..height {
+            loop {
+                let succ = succs[level];
+                if succ == node {
+                    break; // already linked here by a previous iteration's re-scan
+                }
+                // Safety: node is published; next updates are atomic.
+                unsafe { (*node).next[level].store(succ, Ordering::Relaxed) };
+                let cell = self.cell(preds[level], level);
+                if cell
+                    .compare_exchange(succ, node, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
+                let _ = self.find(unsafe { &(*node).key }, &mut preds, &mut succs);
+            }
+        }
+
+        self.len.fetch_add(1, Ordering::AcqRel);
+        InsertOutcome::Inserted(value)
+    }
+
+    /// Overwrites the payload of an existing key. Returns false if absent.
+    pub fn update(&self, key: &K, value: u64) -> bool {
+        let mut preds = [std::ptr::null_mut(); MAX_HEIGHT];
+        let mut succs = [std::ptr::null_mut(); MAX_HEIGHT];
+        let node = self.find(key, &mut preds, &mut succs);
+        if node.is_null() {
+            return false;
+        }
+        // Safety: node outlives the call.
+        unsafe { (*node).value.store(value, Ordering::Release) };
+        true
+    }
+
+    /// In-order iterator starting at the first key ≥ `key`.
+    pub fn range_from(&self, key: &K) -> Iter<'_, K> {
+        let mut preds = [std::ptr::null_mut(); MAX_HEIGHT];
+        let mut succs = [std::ptr::null_mut(); MAX_HEIGHT];
+        let _ = self.find(key, &mut preds, &mut succs);
+        Iter { list: self, curr: succs[0] }
+    }
+}
+
+impl<K> SkipList<K> {
+    /// In-order iterator over `(key, payload)` from the smallest key.
+    /// (No `Ord` bound: iteration just walks level 0.)
+    pub fn iter(&self) -> Iter<'_, K> {
+        Iter { list: self, curr: self.head[0].load(Ordering::Acquire) }
+    }
+}
+
+impl<K: Ord> Default for SkipList<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> Drop for SkipList<K> {
+    fn drop(&mut self) {
+        let mut curr = self.head[0].load(Ordering::Acquire);
+        while !curr.is_null() {
+            // Safety: exclusive access in drop; every published node is
+            // reachable at level 0 exactly once.
+            let node = unsafe { Box::from_raw(curr) };
+            curr = node.next[0].load(Ordering::Acquire);
+        }
+    }
+}
+
+/// Iterator over skip-list entries in key order.
+pub struct Iter<'a, K> {
+    list: &'a SkipList<K>,
+    curr: *mut Node<K>,
+}
+
+impl<'a, K> Iterator for Iter<'a, K> {
+    type Item = (&'a K, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.curr.is_null() {
+            return None;
+        }
+        // Safety: nodes live as long as the list borrow `'a`.
+        let node = unsafe { &*self.curr };
+        self.curr = node.next[0].load(Ordering::Acquire);
+        let _ = self.list;
+        Some((&node.key, node.value.load(Ordering::Acquire)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_list() {
+        let l: SkipList<u64> = SkipList::new();
+        assert_eq!(l.len(), 0);
+        assert!(l.is_empty());
+        assert_eq!(l.get(&1), None);
+        assert_eq!(l.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let l = SkipList::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(l.insert_with(k, || k * 10).inserted());
+        }
+        assert_eq!(l.len(), 5);
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(l.get(&k), Some(k * 10));
+        }
+        assert_eq!(l.get(&2), None);
+    }
+
+    #[test]
+    fn duplicate_insert_reports_lost() {
+        let l = SkipList::new();
+        assert!(l.insert_with(42u64, || 1).inserted());
+        match l.insert_with(42u64, || 2) {
+            InsertOutcome::Lost { existing: 1, yours: None } => {}
+            other => panic!("expected pre-check Lost, got {other:?}"),
+        }
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get(&42), Some(1));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let l = SkipList::new();
+        let keys = [44u64, 2, 17, 99, 1, 58, 23, 71, 8, 36];
+        for &k in &keys {
+            l.insert_with(k, || k);
+        }
+        let collected: Vec<u64> = l.iter().map(|(&k, _)| k).collect();
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(collected, sorted);
+    }
+
+    #[test]
+    fn range_from_seeks_correctly() {
+        let l = SkipList::new();
+        for k in (0u64..100).step_by(10) {
+            l.insert_with(k, || k);
+        }
+        let from_35: Vec<u64> = l.range_from(&35).map(|(&k, _)| k).collect();
+        assert_eq!(from_35, vec![40, 50, 60, 70, 80, 90]);
+        let from_40: Vec<u64> = l.range_from(&40).map(|(&k, _)| k).collect();
+        assert_eq!(from_40, vec![40, 50, 60, 70, 80, 90]);
+        assert_eq!(l.range_from(&1000).count(), 0);
+    }
+
+    #[test]
+    fn update_existing_payload() {
+        let l = SkipList::new();
+        l.insert_with(7u64, || 70);
+        assert!(l.update(&7, 700));
+        assert_eq!(l.get(&7), Some(700));
+        assert!(!l.update(&8, 800));
+    }
+
+    #[test]
+    fn agrees_with_btreemap_model() {
+        let l = SkipList::new();
+        let mut model = BTreeMap::new();
+        let mut state = 0xACE1u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = state % 1000;
+            let v = state >> 32;
+            match l.insert_with(k, || v) {
+                InsertOutcome::Inserted(_) => {
+                    assert!(model.insert(k, v).is_none(), "model had {k} but list did not");
+                }
+                InsertOutcome::Lost { existing, .. } => {
+                    assert_eq!(model.get(&k), Some(&existing));
+                }
+            }
+        }
+        assert_eq!(l.len() as usize, model.len());
+        let list_pairs: Vec<(u64, u64)> = l.iter().map(|(&k, v)| (k, v)).collect();
+        let model_pairs: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(list_pairs, model_pairs);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let l = Arc::new(SkipList::new());
+        let threads = 8u64;
+        let per = 2000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let l = l.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        // Interleaved key space stresses shared predecessors.
+                        let k = i * threads + t;
+                        assert!(l.insert_with(k, || k + 1).inserted());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.len(), threads * per);
+        let mut prev = None;
+        let mut count = 0u64;
+        for (&k, v) in l.iter() {
+            assert_eq!(v, k + 1);
+            if let Some(p) = prev {
+                assert!(k > p, "order violated: {p} then {k}");
+            }
+            prev = Some(k);
+            count += 1;
+        }
+        assert_eq!(count, threads * per);
+    }
+
+    #[test]
+    fn concurrent_same_key_races_have_one_winner() {
+        for _round in 0..20 {
+            let l = Arc::new(SkipList::new());
+            let barrier = Arc::new(std::sync::Barrier::new(8));
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let l = l.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        let mut wins = 0u64;
+                        let mut cleanup = 0u64;
+                        for k in 0..50u64 {
+                            match l.insert_with(k, || t) {
+                                InsertOutcome::Inserted(_) => wins += 1,
+                                InsertOutcome::Lost { yours: Some(_), .. } => cleanup += 1,
+                                InsertOutcome::Lost { yours: None, .. } => {}
+                            }
+                        }
+                        (wins, cleanup)
+                    })
+                })
+                .collect();
+            let results: Vec<(u64, u64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let total_wins: u64 = results.iter().map(|r| r.0).sum();
+            assert_eq!(total_wins, 50, "each key must have exactly one winner");
+            assert_eq!(l.len(), 50);
+            // Every key's payload must be one of the contenders' ids.
+            for (&k, v) in l.iter() {
+                assert!(k < 50 && v < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn large_sequential_insert_is_searchable() {
+        let l = SkipList::new();
+        for k in 0..50_000u64 {
+            l.insert_with(k, || k ^ 0xFF);
+        }
+        for probe in (0..50_000u64).step_by(997) {
+            assert_eq!(l.get(&probe), Some(probe ^ 0xFF));
+        }
+        assert_eq!(l.len(), 50_000);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let l: SkipList<String> = SkipList::new();
+        for name in ["delta", "alpha", "charlie", "bravo"] {
+            l.insert_with(name.to_string(), || name.len() as u64);
+        }
+        let order: Vec<&str> = l.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(order, vec!["alpha", "bravo", "charlie", "delta"]);
+    }
+}

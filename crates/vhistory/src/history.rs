@@ -1,0 +1,375 @@
+//! The version-history algorithm (paper Algorithm 1), generic over storage.
+
+use crate::slots::Slots;
+use crate::HistoryRecord;
+use std::sync::atomic::Ordering;
+
+/// A per-key version history: lock-free out-of-order appends, lazily
+/// extended tail, binary-searched multi-version reads.
+///
+/// `fc` parameters are the store-wide completion watermark from
+/// [`crate::VersionClock`]; entries with versions beyond it are invisible to
+/// queries (the paper's consistency rule).
+///
+/// # Examples
+///
+/// ```
+/// use mvkv_vhistory::{EHistory, History};
+///
+/// let h = History::new(EHistory::new());
+/// h.append(1, 10);
+/// h.append_tombstone(3);
+/// assert_eq!(h.find(1, 3), Some(10));
+/// assert_eq!(h.find(2, 3), Some(10)); // unchanged between versions
+/// assert_eq!(h.find(3, 3), None);     // removed
+/// ```
+pub struct History<S: Slots> {
+    slots: S,
+}
+
+impl<S: Slots> History<S> {
+    pub fn new(slots: S) -> Self {
+        History { slots }
+    }
+
+    /// The underlying storage (for recovery and audits).
+    pub fn slots(&self) -> &S {
+        &self.slots
+    }
+
+    /// Appends `(version, value)` — the paper's `insert` (Algorithm 1,
+    /// lines 1–6). Claims a slot, writes the pair, persists it, then
+    /// publishes the non-zero `done` stamp. Returns the slot index.
+    ///
+    /// The caller is responsible for reporting completion to the store's
+    /// `VersionClock` *after* this returns.
+    pub fn append(&self, version: u64, value: u64) -> u64 {
+        let idx = self.slots.claim();
+        self.slots.persist_pending();
+        let e = self.slots.entry(idx);
+        debug_assert_eq!(e.done.load(Ordering::Acquire), 0, "slot reuse without recovery");
+        e.version.store(version, Ordering::Relaxed);
+        e.value.store(value, Ordering::Relaxed);
+        self.slots.persist_entry(idx);
+        e.done.store(version + 1, Ordering::Release);
+        self.slots.persist_done(idx);
+        idx
+    }
+
+    /// Appends a tombstone — the paper's `remove` (Algorithm 1, line 7).
+    pub fn append_tombstone(&self, version: u64) -> u64 {
+        self.append(version, crate::TOMBSTONE)
+    }
+
+    /// Advances the lazy tail over every slot that is locally published and
+    /// whose version is covered by the watermark, then returns the visible
+    /// length. Called by queries, never by appends (the "lazy" in lazy
+    /// tail). Uses a CAS-max so concurrent extenders cooperate.
+    pub fn extend_tail(&self, fc: u64) -> u64 {
+        let tail = self.slots.tail_ref();
+        let start = tail.load(Ordering::Acquire);
+        let pending = self.slots.pending();
+        let mut next = start;
+        while next < pending {
+            let e = self.slots.entry(next);
+            let done = e.done.load(Ordering::Acquire);
+            // done stores version + 1; 0 means the write is not published.
+            if done == 0 || done - 1 > fc {
+                break;
+            }
+            next += 1;
+        }
+        if next == start {
+            return start;
+        }
+        let mut observed = start;
+        loop {
+            match tail.compare_exchange_weak(observed, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.slots.persist_tail();
+                    return next;
+                }
+                Err(current) => {
+                    if current >= next {
+                        return current; // someone advanced at least as far
+                    }
+                    observed = current;
+                }
+            }
+        }
+    }
+
+    /// Number of slots currently visible without extension.
+    pub fn tail(&self) -> u64 {
+        self.slots.tail_ref().load(Ordering::Acquire)
+    }
+
+    /// Number of claimed slots (including unpublished ones).
+    pub fn pending(&self) -> u64 {
+        self.slots.pending()
+    }
+
+    /// The paper's `find` (Algorithm 1, lines 8–26): returns the raw value
+    /// of the entry with the highest version ≤ `version`, or `None` if the
+    /// key had no entry at or before `version`. Tombstones are returned
+    /// verbatim (callers map [`crate::TOMBSTONE`] to "absent").
+    ///
+    /// The tail is extended only if the query could be affected by slots
+    /// beyond it — i.e. the last visible entry's version is below the
+    /// requested version (the paper's lazy rule).
+    pub fn find_raw(&self, version: u64, fc: u64) -> Option<u64> {
+        let mut t = self.tail();
+        let needs_extension = match t {
+            0 => true,
+            _ => self.slots.entry(t - 1).version.load(Ordering::Relaxed) < version,
+        };
+        if needs_extension {
+            t = self.extend_tail(fc);
+        }
+        if t == 0 {
+            return None;
+        }
+        // Binary search for the highest version <= requested in [0, t).
+        let (mut left, mut right) = (0i64, t as i64 - 1);
+        while left <= right {
+            let mid = (left + right) / 2;
+            let e = self.slots.entry(mid as u64);
+            let v = e.version.load(Ordering::Relaxed);
+            match v.cmp(&version) {
+                std::cmp::Ordering::Less => left = mid + 1,
+                std::cmp::Ordering::Greater => right = mid - 1,
+                std::cmp::Ordering::Equal => {
+                    return Some(e.value.load(Ordering::Relaxed));
+                }
+            }
+        }
+        if right < 0 {
+            None
+        } else {
+            Some(self.slots.entry(right as u64).value.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Decoded `find`: `None` if absent **or** tombstoned at `version`.
+    pub fn find(&self, version: u64, fc: u64) -> Option<u64> {
+        match self.find_raw(version, fc) {
+            Some(crate::TOMBSTONE) | None => None,
+            Some(v) => Some(v),
+        }
+    }
+
+    /// The paper's `extract_history`: every visible record in version order.
+    pub fn records(&self, fc: u64) -> Vec<HistoryRecord> {
+        let t = self.extend_tail(fc);
+        (0..t)
+            .map(|i| {
+                let e = self.slots.entry(i);
+                HistoryRecord::from_raw(
+                    e.version.load(Ordering::Relaxed),
+                    e.value.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// The newest visible record, if any.
+    pub fn latest(&self, fc: u64) -> Option<HistoryRecord> {
+        let t = self.extend_tail(fc);
+        if t == 0 {
+            return None;
+        }
+        let e = self.slots.entry(t - 1);
+        Some(HistoryRecord::from_raw(
+            e.version.load(Ordering::Relaxed),
+            e.value.load(Ordering::Relaxed),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eslots::EHistory;
+    use crate::TOMBSTONE;
+
+    fn h() -> History<EHistory> {
+        History::new(EHistory::new())
+    }
+
+    #[test]
+    fn find_on_empty_history() {
+        let h = h();
+        assert_eq!(h.find_raw(0, 0), None);
+        assert_eq!(h.find_raw(u64::MAX, u64::MAX), None);
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // Key 7 in Figure 1: inserted at v0... we use 1-based versions:
+        // inserted at v1, removed at v3, re-inserted at v4.
+        let h = h();
+        h.append(1, 70);
+        h.append_tombstone(3);
+        h.append(4, 71);
+        let fc = 4;
+        assert_eq!(h.find(1, fc), Some(70));
+        assert_eq!(h.find(2, fc), Some(70), "unchanged between snapshots");
+        assert_eq!(h.find(3, fc), None, "removed");
+        assert_eq!(h.find(4, fc), Some(71), "re-inserted");
+        assert_eq!(h.find(100, fc), Some(71), "latest persists");
+        assert_eq!(h.find_raw(3, fc), Some(TOMBSTONE));
+    }
+
+    #[test]
+    fn watermark_gates_visibility() {
+        let h = h();
+        h.append(1, 10);
+        h.append(5, 50);
+        // Watermark only reached 3: version-5 entry must stay invisible.
+        assert_eq!(h.find(5, 3), Some(10));
+        assert_eq!(h.find(9, 3), Some(10));
+        // Once the watermark covers it, it becomes visible.
+        assert_eq!(h.find(5, 5), Some(50));
+    }
+
+    #[test]
+    fn unpublished_slot_blocks_tail() {
+        let h = h();
+        h.append(1, 10);
+        // Claim a slot manually but never publish it (simulates an in-flight
+        // concurrent append).
+        let idx = h.slots().claim();
+        assert_eq!(idx, 1);
+        assert_eq!(h.extend_tail(u64::MAX), 1, "tail must stop at the unpublished slot");
+        assert_eq!(h.find(1, u64::MAX), Some(10));
+    }
+
+    #[test]
+    fn tail_is_lazy() {
+        let h = h();
+        h.append(1, 10);
+        h.append(2, 20);
+        assert_eq!(h.tail(), 0, "appends never advance the tail");
+        // A find for version 1 needs the tail; it extends to cover v<=fc.
+        assert_eq!(h.find(1, 2), Some(10));
+        assert!(h.tail() >= 1);
+        let t_after_first = h.tail();
+        // A find for an already-covered version must not extend further.
+        h.append(9, 90);
+        assert_eq!(h.find(1, 9), Some(10));
+        assert_eq!(h.tail(), t_after_first, "covered query must not extend the tail");
+        // A find for a newer version extends.
+        assert_eq!(h.find(9, 9), Some(90));
+        assert_eq!(h.tail(), 3);
+    }
+
+    #[test]
+    fn records_returns_full_visible_history() {
+        let h = h();
+        h.append(2, 20);
+        h.append_tombstone(4);
+        h.append(7, 70);
+        let recs = h.records(7);
+        assert_eq!(
+            recs,
+            vec![
+                HistoryRecord { version: 2, value: Some(20) },
+                HistoryRecord { version: 4, value: None },
+                HistoryRecord { version: 7, value: Some(70) },
+            ]
+        );
+        // With a lower watermark the newest record is hidden.
+        let h2 = History::new(EHistory::new());
+        h2.append(2, 20);
+        h2.append(9, 90);
+        assert_eq!(h2.records(5).len(), 1);
+    }
+
+    #[test]
+    fn latest_tracks_watermark() {
+        let h = h();
+        assert_eq!(h.latest(0), None);
+        h.append(3, 30);
+        assert_eq!(h.latest(3), Some(HistoryRecord { version: 3, value: Some(30) }));
+        h.append_tombstone(5);
+        assert_eq!(h.latest(5), Some(HistoryRecord { version: 5, value: None }));
+    }
+
+    #[test]
+    fn binary_search_agrees_with_linear_scan() {
+        // Deterministic pseudo-random history, exhaustive probe check.
+        let h = h();
+        let mut versions = Vec::new();
+        let mut v = 0u64;
+        let mut state = 0x1234_5678u64;
+        for i in 0..200u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v += 1 + (state >> 60); // strictly increasing, gaps of 1..16
+            let value = if state.is_multiple_of(5) { TOMBSTONE } else { i * 3 };
+            h.append(v, value);
+            versions.push((v, value));
+        }
+        let fc = v;
+        for probe in 0..=v + 5 {
+            let expected = versions.iter().rev().find(|&&(ver, _)| ver <= probe).map(|&(_, val)| val);
+            assert_eq!(h.find_raw(probe, fc), expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn works_identically_on_persistent_slots() {
+        use crate::pslots::PHistory;
+        let pool = mvkv_pmem::PmemPool::create_volatile(1 << 22).unwrap();
+        let ph = History::new(PHistory::create(&pool).unwrap());
+        ph.append(1, 100);
+        ph.append_tombstone(2);
+        ph.append(3, 300);
+        assert_eq!(ph.find(1, 3), Some(100));
+        assert_eq!(ph.find(2, 3), None);
+        assert_eq!(ph.find(3, 3), Some(300));
+        assert_eq!(ph.records(3).len(), 3);
+    }
+
+    #[test]
+    fn concurrent_readers_during_appends_see_consistent_prefixes() {
+        use std::sync::atomic::{AtomicBool, Ordering as O};
+        use std::sync::Arc;
+        let h = Arc::new(h());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let h = h.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut v = 0;
+                while !stop.load(O::Relaxed) {
+                    v += 1;
+                    h.append(v, v * 2);
+                }
+                v
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let h = h.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(O::Relaxed) {
+                        // A snapshot of the watermark: everything <= fc must
+                        // be found exactly.
+                        let fc = h.tail().max(1);
+                        if let Some(val) = h.find(fc, fc) {
+                            assert_eq!(val % 2, 0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, O::Relaxed);
+        let total = writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(h.find(total, total), Some(total * 2));
+    }
+}

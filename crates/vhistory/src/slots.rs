@@ -1,0 +1,127 @@
+//! The [`Slots`] storage abstraction shared by ephemeral and persistent
+//! histories, plus the deterministic segment geometry.
+//!
+//! A history's slots live in a chain of segments of doubling capacity
+//! (2, 4, 8, …). Because the geometry is deterministic, the segment index
+//! and in-segment position of any slot follow from the slot index alone —
+//! random access never needs per-segment bookkeeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Size of one slot entry in bytes (three u64 words).
+pub const ENTRY_SIZE: usize = 24;
+
+/// One history slot. `version`/`value` are published before `done`
+/// (Release), so observing `done != 0` (Acquire) guarantees both are valid.
+/// `done` stores `version + 1` — the paper's non-zero "finished" stamp,
+/// which recovery uses to find the durable contiguous prefix.
+#[repr(C)]
+pub struct Entry {
+    pub version: AtomicU64,
+    pub value: AtomicU64,
+    pub done: AtomicU64,
+}
+
+const _: () = assert!(std::mem::size_of::<Entry>() == ENTRY_SIZE);
+
+impl Entry {
+    /// Loads the entry if its write has been published.
+    #[inline]
+    pub fn load_if_done(&self) -> Option<(u64, u64)> {
+        if self.done.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        Some((self.version.load(Ordering::Relaxed), self.value.load(Ordering::Relaxed)))
+    }
+}
+
+/// Storage provider for one key's history slots.
+///
+/// Implementations must make `entry(i)` valid for every `i < pending()`;
+/// `claim` performs any segment extension needed. The `persist_*` hooks are
+/// no-ops for ephemeral storage.
+pub trait Slots {
+    /// Atomically claims the next slot index, growing storage as needed.
+    fn claim(&self) -> u64;
+    /// Number of claimed slots.
+    fn pending(&self) -> u64;
+    /// The entry at `idx` (must satisfy `idx < pending()`).
+    fn entry(&self, idx: u64) -> &Entry;
+    /// The lazily advanced tail counter (first not-yet-visible slot index).
+    fn tail_ref(&self) -> &AtomicU64;
+    /// Flushes entry `idx`'s `(version, value)` words.
+    fn persist_entry(&self, _idx: u64) {}
+    /// Flushes entry `idx`'s `done` stamp.
+    fn persist_done(&self, _idx: u64) {}
+    /// Flushes the tail counter.
+    fn persist_tail(&self) {}
+    /// Flushes the pending counter.
+    fn persist_pending(&self) {}
+}
+
+/// Capacity of segment `k`: 2, 4, 8, … .
+#[inline]
+pub const fn seg_capacity(k: u32) -> u64 {
+    2u64 << k
+}
+
+/// Global slot index of segment `k`'s first entry: 0, 2, 6, 14, … .
+#[inline]
+pub const fn seg_base(k: u32) -> u64 {
+    (2u64 << k) - 2
+}
+
+/// Maps a slot index to `(segment, position within segment)`.
+#[inline]
+pub fn locate(idx: u64) -> (u32, u64) {
+    // Segment k covers [2^(k+1) - 2, 2^(k+2) - 2).
+    let k = 63 - (idx + 2).leading_zeros() - 1;
+    (k, idx - seg_base(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_consistent() {
+        let mut expected_seg = 0u32;
+        let mut consumed = 0u64;
+        for idx in 0..10_000u64 {
+            if idx - seg_base(expected_seg) >= seg_capacity(expected_seg) {
+                consumed += seg_capacity(expected_seg);
+                expected_seg += 1;
+            }
+            let (k, pos) = locate(idx);
+            assert_eq!(k, expected_seg, "segment for slot {idx}");
+            assert_eq!(pos, idx - consumed, "position for slot {idx}");
+            assert!(pos < seg_capacity(k));
+        }
+    }
+
+    #[test]
+    fn first_slots_land_in_segment_zero() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(1), (0, 1));
+        assert_eq!(locate(2), (1, 0));
+        assert_eq!(locate(5), (1, 3));
+        assert_eq!(locate(6), (2, 0));
+        assert_eq!(locate(13), (2, 7));
+        assert_eq!(locate(14), (3, 0));
+    }
+
+    #[test]
+    fn entry_publish_protocol() {
+        let e = Entry {
+            version: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+        };
+        assert_eq!(e.load_if_done(), None);
+        e.version.store(7, Ordering::Relaxed);
+        e.value.store(99, Ordering::Relaxed);
+        assert_eq!(e.load_if_done(), None, "not visible before done stamp");
+        e.done.store(8, Ordering::Release);
+        assert_eq!(e.load_if_done(), Some((7, 99)));
+    }
+}

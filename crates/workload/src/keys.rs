@@ -1,0 +1,132 @@
+//! Key-value pair generation and partitioning.
+//!
+//! The paper's single-node experiments (§V-D) pre-generate `N` key-value
+//! pairs with *unique* keys ("forcing the insert operations to exhibit a
+//! worst-case scenario"), distribute them evenly to `T` threads, and later
+//! remove a random shuffling of the same keys.
+
+use crate::mt19937::Mt19937_64;
+use std::collections::HashSet;
+
+/// A tiny key-value pair as used throughout the paper's evaluation:
+/// both key and value are 64-bit integers (§V-C "tiny key-value pairs,
+/// where each key and value are represented by integers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyValue {
+    pub key: u64,
+    pub value: u64,
+}
+
+/// Generates `n` key-value pairs whose keys are unique, drawn from the given
+/// seeded PRNG. Values are unconstrained random integers below
+/// [`crate::scenario::VALUE_BOUND`] so that out-of-band markers remain
+/// representable by baselines that need them.
+pub fn unique_pairs(rng: &mut Mt19937_64, n: usize) -> Vec<KeyValue> {
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let key = rng.next_u64();
+        if seen.insert(key) {
+            let value = rng.next_below(crate::scenario::VALUE_BOUND);
+            out.push(KeyValue { key, value });
+        }
+    }
+    out
+}
+
+/// Generates `n` unique keys only.
+pub fn unique_keys(rng: &mut Mt19937_64, n: usize) -> Vec<u64> {
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let key = rng.next_u64();
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// Splits `data` into `parts` contiguous chunks whose sizes differ by at most
+/// one — the paper's "evenly distribute them to T threads".
+pub fn partition_even<T: Clone>(data: &[T], parts: usize) -> Vec<Vec<T>> {
+    assert!(parts > 0);
+    let base = data.len() / parts;
+    let extra = data.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(data[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    debug_assert_eq!(cursor, data.len());
+    out
+}
+
+/// Returns a shuffled copy of the keys of `pairs` (the removal phase input).
+pub fn shuffled_keys(rng: &mut Mt19937_64, pairs: &[KeyValue]) -> Vec<u64> {
+    let mut keys: Vec<u64> = pairs.iter().map(|kv| kv.key).collect();
+    rng.shuffle(&mut keys);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_pairs_have_unique_keys() {
+        let mut rng = Mt19937_64::new(1);
+        let pairs = unique_pairs(&mut rng, 10_000);
+        assert_eq!(pairs.len(), 10_000);
+        let keys: HashSet<u64> = pairs.iter().map(|p| p.key).collect();
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn unique_pairs_deterministic_per_seed() {
+        let mut a = Mt19937_64::new(99);
+        let mut b = Mt19937_64::new(99);
+        assert_eq!(unique_pairs(&mut a, 1000), unique_pairs(&mut b, 1000));
+    }
+
+    #[test]
+    fn values_respect_bound() {
+        let mut rng = Mt19937_64::new(3);
+        for p in unique_pairs(&mut rng, 5000) {
+            assert!(p.value < crate::scenario::VALUE_BOUND);
+        }
+    }
+
+    #[test]
+    fn partition_even_is_balanced_and_complete() {
+        let data: Vec<u32> = (0..103).collect();
+        let parts = partition_even(&data, 8);
+        assert_eq!(parts.len(), 8);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        let flat: Vec<u32> = parts.concat();
+        assert_eq!(flat, data);
+    }
+
+    #[test]
+    fn partition_even_more_parts_than_items() {
+        let data = vec![1, 2, 3];
+        let parts = partition_even(&data, 10);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 3);
+        assert_eq!(parts.len(), 10);
+    }
+
+    #[test]
+    fn shuffled_keys_is_permutation_of_inputs() {
+        let mut rng = Mt19937_64::new(5);
+        let pairs = unique_pairs(&mut rng, 2000);
+        let shuffled = shuffled_keys(&mut rng, &pairs);
+        let mut a: Vec<u64> = pairs.iter().map(|p| p.key).collect();
+        let mut b = shuffled.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

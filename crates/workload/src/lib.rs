@@ -1,0 +1,20 @@
+//! Deterministic workload generation for the mvkv benchmark suite.
+//!
+//! The paper (§V-C) pre-generates all key-value pairs with a Mersenne Twister
+//! PRNG using fixed per-thread seeds, so every run of every compared approach
+//! sees the exact same operation stream. This crate reproduces that setup:
+//!
+//! * [`mt19937::Mt19937_64`] — a from-scratch MT19937-64 implementation,
+//!   validated against the reference output of Nishimura & Matsumoto's
+//!   `mt19937-64.c`.
+//! * [`keys`] — unique-key generation, shuffling and per-thread partitioning.
+//! * [`scenario`] — the exact phase recipes used by the paper's experiments
+//!   (§V-D through §V-H).
+
+pub mod keys;
+pub mod mt19937;
+pub mod scenario;
+
+pub use keys::{partition_even, unique_pairs, KeyValue};
+pub use mt19937::Mt19937_64;
+pub use scenario::{Scenario, ScenarioPhase};

@@ -1,0 +1,171 @@
+//! Concurrency stress tests: the invariants that must hold while writers
+//! and readers race (snapshot immutability, watermark consistency, lazy
+//! tail monotonicity).
+
+mod common;
+
+use mvkv::core::{ESkipList, PSkipList, StoreSession, VersionedStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Writers insert `(tid, i)`-coded pairs on disjoint keys while readers
+/// repeatedly take a consistent tag and verify *every* invariant a
+/// snapshot promises: versions ≤ tag, sortedness, value coding.
+fn writers_vs_snapshot_readers<S: VersionedStore + Sync + Send + 'static>(store: Arc<S>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let store = store.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let s = store.session();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) && i < 50_000 {
+                    s.insert(t * 1_000_000 + i, t * 1_000_000 + i + 1);
+                    i += 1;
+                }
+                i
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let store = store.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let s = store.session();
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let tag = store.tag();
+                    let snap = s.extract_snapshot(tag);
+                    assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "unsorted snapshot");
+                    for (k, v) in &snap {
+                        assert_eq!(*v, k + 1, "torn value visible at tag {tag}");
+                    }
+                    // A later tag can only grow the snapshot.
+                    let tag2 = store.tag();
+                    assert!(tag2 >= tag);
+                    let snap2 = s.extract_snapshot(tag);
+                    assert_eq!(snap.len(), snap2.len(), "snapshot {tag} mutated");
+                    checks += 1;
+                }
+                checks
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    let written: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    let checks: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(written > 0 && checks > 0);
+    store.wait_writes_complete();
+    let final_snap = store.session().extract_snapshot(store.tag());
+    assert_eq!(final_snap.len() as u64, written);
+}
+
+#[test]
+fn eskiplist_snapshot_immutability_under_writers() {
+    writers_vs_snapshot_readers(Arc::new(ESkipList::new()));
+}
+
+#[test]
+fn pskiplist_snapshot_immutability_under_writers() {
+    writers_vs_snapshot_readers(Arc::new(PSkipList::create_volatile(512 << 20).unwrap()));
+}
+
+#[test]
+fn mixed_insert_remove_find_stress() {
+    let store = Arc::new(ESkipList::new());
+    // Phase 1: concurrent partitioned inserts.
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let store = store.clone();
+            scope.spawn(move || {
+                let s = store.session();
+                for i in 0..2_000u64 {
+                    s.insert(t * 10_000 + i, i);
+                }
+            });
+        }
+    });
+    store.wait_writes_complete();
+    let after_insert = store.tag();
+    // Phase 2: concurrent removers and finders.
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let store = store.clone();
+            scope.spawn(move || {
+                let s = store.session();
+                for i in 0..1_000u64 {
+                    s.remove(t * 10_000 + i * 2);
+                }
+            });
+        }
+        for t in 0..4u64 {
+            let store = store.clone();
+            scope.spawn(move || {
+                let s = store.session();
+                // Reads against the immutable phase-1 snapshot must be
+                // oblivious to the concurrent removals.
+                for i in 0..1_000u64 {
+                    let key = t * 10_000 + i * 2;
+                    assert_eq!(s.find(key, after_insert), Some(i * 2), "key {key}");
+                }
+            });
+        }
+    });
+    store.wait_writes_complete();
+    let final_tag = store.tag();
+    assert_eq!(final_tag, after_insert + 4_000);
+    let snap = store.session().extract_snapshot(final_tag);
+    assert_eq!(snap.len(), 16_000 - 4_000);
+}
+
+#[test]
+fn version_numbers_are_unique_and_gapless_across_threads() {
+    let store = Arc::new(ESkipList::new());
+    let versions: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let store = store.clone();
+                scope.spawn(move || {
+                    let s = store.session();
+                    (0..1000u64).map(|i| s.insert(t * 100_000 + i, i)).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let mut sorted = versions.clone();
+    sorted.sort_unstable();
+    let expected: Vec<u64> = (1..=8000u64).collect();
+    assert_eq!(sorted, expected, "versions must form a gapless 1..=N sequence");
+}
+
+#[test]
+fn lazy_tail_monotone_under_concurrent_queries() {
+    use mvkv::vhistory::{EHistory, History};
+    let hist = Arc::new(History::new(EHistory::new()));
+    for v in 1..=10_000u64 {
+        hist.append(v, v);
+    }
+    // Many threads extend the tail concurrently with random watermarks;
+    // the tail must only ever move forward and never pass an uncovered
+    // version.
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let hist = hist.clone();
+            scope.spawn(move || {
+                let mut last = 0u64;
+                for i in 0..2_000u64 {
+                    let fc = (t * 977 + i * 13) % 10_000 + 1;
+                    let tail = hist.extend_tail(fc);
+                    assert!(tail >= last, "tail moved backwards");
+                    assert!(tail <= 10_000);
+                    last = tail;
+                }
+            });
+        }
+    });
+    assert_eq!(hist.extend_tail(10_000), 10_000);
+}

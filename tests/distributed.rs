@@ -1,0 +1,200 @@
+//! Distributed-layer integration: the virtual-time cluster and the real
+//! message-passing runtime must both agree with a single-node oracle.
+
+mod common;
+
+use common::{random_script, Oracle, Op};
+use mvkv::cluster::{run_cluster, DistStore, MergeStrategy, NetModel};
+use mvkv::core::{ESkipList, PSkipList, StoreSession, VersionedStore};
+
+/// Splits a script across K ranks by key ownership (`key % K`), applying
+/// each rank's ops locally, and mirrors everything into one oracle.
+fn build_partitioned(
+    k: usize,
+    script: &[Op],
+) -> (DistStore<ESkipList>, Oracle) {
+    let mut oracle = Oracle::new();
+    let ranks: Vec<ESkipList> = (0..k).map(|_| ESkipList::new()).collect();
+    for &op in script {
+        let (key, _) = match op {
+            Op::Insert(k, v) => (k, Some(v)),
+            Op::Remove(k) => (k, None),
+        };
+        let owner = (key % k as u64) as usize;
+        let session = ranks[owner].session();
+        match op {
+            Op::Insert(k, v) => {
+                session.insert(k, v);
+                oracle.insert(k, v);
+            }
+            Op::Remove(k) => {
+                session.remove(k);
+                oracle.remove(k);
+            }
+        }
+    }
+    for r in &ranks {
+        r.wait_writes_complete();
+    }
+    (DistStore::new(ranks, NetModel::theta_like()), oracle)
+}
+
+#[test]
+fn distributed_find_agrees_with_oracle_at_latest() {
+    let script = random_script(1200, 97, 0xD1);
+    let (mut cluster, oracle) = build_partitioned(5, &script);
+    // Per-rank version counters differ from the oracle's global one, so
+    // compare at "latest" where they coincide.
+    for key in 0..97u64 {
+        let (got, _) = cluster.find(key, u64::MAX);
+        assert_eq!(got, oracle.find(key, u64::MAX), "key {key}");
+    }
+}
+
+#[test]
+fn distributed_merged_snapshot_equals_oracle() {
+    let script = random_script(900, 150, 0xD2);
+    for k in [1usize, 3, 8] {
+        let (mut cluster, oracle) = build_partitioned(k, &script);
+        let want = oracle.snapshot(u64::MAX);
+        let (naive, _) = cluster.extract_snapshot(u64::MAX, MergeStrategy::Naive);
+        assert_eq!(naive, want, "naive K={k}");
+        let (opt, _) = cluster.extract_snapshot(u64::MAX, MergeStrategy::Opt { threads: 3 });
+        assert_eq!(opt, want, "opt K={k}");
+    }
+}
+
+#[test]
+fn real_comm_cluster_runs_bcast_reduce_find() {
+    // The actual thread-backed runtime: every rank owns a partition; rank 0
+    // broadcasts a query; ranks reply via gather; rank 0 resolves.
+    let k = 6usize;
+    let n = 200u64;
+    let results = run_cluster(k, |mut comm| {
+        let rank = comm.rank() as u64;
+        let store = ESkipList::new();
+        {
+            let s = store.session();
+            for i in 0..n {
+                let key = i * k as u64 + rank;
+                s.insert(key, key + 7);
+            }
+        }
+        store.wait_writes_complete();
+        let mut answers = Vec::new();
+        for (q, probe) in [5u64, 333, 1199, 5000].into_iter().enumerate() {
+            let tag = 100 + q as u64 * 10;
+            let query = if comm.rank() == 0 {
+                comm.bcast(0, Some(probe.to_le_bytes().to_vec()), tag)
+            } else {
+                comm.bcast(0, None, tag)
+            };
+            let key = u64::from_le_bytes(query.try_into().expect("8 bytes"));
+            let local = store.session().find(key, u64::MAX).unwrap_or(u64::MAX);
+            let gathered = comm.gather(0, local.to_le_bytes().to_vec(), tag + 1);
+            if let Some(replies) = gathered {
+                let hit = replies
+                    .iter()
+                    .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("8 bytes")))
+                    .find(|&v| v != u64::MAX);
+                answers.push(hit);
+            }
+        }
+        answers
+    });
+    // Only rank 0 accumulated answers.
+    assert_eq!(results[0], vec![Some(12), Some(340), Some(1206), None]);
+    assert!(results[1..].iter().all(Vec::is_empty));
+}
+
+#[test]
+fn real_comm_cluster_hierarchic_merge_matches_kway() {
+    // Recursive doubling over the real runtime; compare against a k-way
+    // merge of the same partitions.
+    let k = 8usize;
+    let n = 150u64;
+    let partitions: Vec<Vec<(u64, u64)>> = (0..k as u64)
+        .map(|r| (0..n).map(|i| (i * k as u64 + r, r)).collect())
+        .collect();
+    let expected = mvkv::cluster::kway_merge(&partitions);
+
+    let parts = &partitions;
+    let results = run_cluster(k, move |mut comm| {
+        let me = comm.rank();
+        let mut mine: Vec<(u64, u64)> = parts[me].clone();
+        let mut step = 1usize;
+        while step < k {
+            if me % (step * 2) == step {
+                // Sender: serialize and ship to the left partner.
+                let mut bytes = Vec::with_capacity(mine.len() * 16);
+                for (key, value) in &mine {
+                    bytes.extend_from_slice(&key.to_le_bytes());
+                    bytes.extend_from_slice(&value.to_le_bytes());
+                }
+                comm.send(me - step, step as u64, bytes);
+                mine.clear();
+                break;
+            } else if me % (step * 2) == 0 && me + step < k {
+                let bytes = comm.recv(me + step, step as u64);
+                let theirs: Vec<(u64, u64)> = bytes
+                    .chunks_exact(16)
+                    .map(|c| {
+                        (
+                            u64::from_le_bytes(c[0..8].try_into().expect("8")),
+                            u64::from_le_bytes(c[8..16].try_into().expect("8")),
+                        )
+                    })
+                    .collect();
+                mine = mvkv::cluster::merge_two_parallel(&mine, &theirs, 2);
+            }
+            step *= 2;
+        }
+        mine
+    });
+    assert_eq!(results[0], expected);
+    assert!(results[1..].iter().all(Vec::is_empty));
+}
+
+#[test]
+fn virtual_time_merge_shape_naive_vs_opt() {
+    // The performance *shape* the paper reports: at larger K the optimized
+    // merge must beat the naive gather-then-kway by a growing factor.
+    let script: Vec<Op> = (0..4000u64).map(|i| Op::Insert(i, i)).collect();
+    let (mut c_small, _) = build_partitioned(2, &script);
+    let (mut c_large, _) = build_partitioned(16, &script);
+
+    let (_, naive_small) = c_small.extract_snapshot(u64::MAX, MergeStrategy::Naive);
+    c_small.reset_clocks();
+    let (_, opt_small) = c_small.extract_snapshot(u64::MAX, MergeStrategy::Opt { threads: 2 });
+    let (_, naive_large) = c_large.extract_snapshot(u64::MAX, MergeStrategy::Naive);
+    c_large.reset_clocks();
+    let (_, opt_large) = c_large.extract_snapshot(u64::MAX, MergeStrategy::Opt { threads: 2 });
+
+    let ratio_small = naive_small.as_secs_f64() / opt_small.as_secs_f64();
+    let ratio_large = naive_large.as_secs_f64() / opt_large.as_secs_f64();
+    assert!(
+        ratio_large > ratio_small,
+        "opt advantage must grow with K: {ratio_small:.2} vs {ratio_large:.2}"
+    );
+}
+
+#[test]
+fn pskiplist_ranks_work_distributed_too() {
+    let ranks: Vec<PSkipList> = (0..3)
+        .map(|r| {
+            let store = PSkipList::create_volatile(16 << 20).unwrap();
+            let s = store.session();
+            for i in 0..100u64 {
+                s.insert(i * 3 + r, i);
+            }
+            store.wait_writes_complete();
+            store
+        })
+        .collect();
+    let mut cluster = DistStore::new(ranks, NetModel::theta_like());
+    let (snap, _) = cluster.extract_snapshot(u64::MAX, MergeStrategy::Opt { threads: 2 });
+    assert_eq!(snap.len(), 300);
+    assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+    let (hit, _) = cluster.find(5, u64::MAX);
+    assert!(hit.is_some());
+}

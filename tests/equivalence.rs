@@ -1,0 +1,126 @@
+//! Five-approach equivalence: the same operation script must produce
+//! identical versioned behaviour on every store and match the oracle.
+
+mod common;
+
+use common::{apply_script, assert_agrees, random_script, Oracle, Op};
+use mvkv::core::{DbStore, ESkipList, LockedMap, PSkipList, StoreSession};
+
+fn probe_versions(max: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = vec![0, 1, max / 3, max / 2, max, max + 10];
+    v.dedup();
+    v
+}
+
+fn keys_of(script: &[Op]) -> Vec<u64> {
+    let mut keys: Vec<u64> = script
+        .iter()
+        .map(|op| match *op {
+            Op::Insert(k, _) => k,
+            Op::Remove(k) => k,
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    // Plus a few never-touched keys.
+    keys.push(u64::MAX / 2);
+    keys.push(123_456_789_000);
+    keys
+}
+
+fn check_store<S: mvkv::core::VersionedStore>(store: &S, script: &[Op]) {
+    let mut oracle = Oracle::new();
+    apply_script(store, &mut oracle, script);
+    assert_agrees(store, &oracle, &keys_of(script), &probe_versions(oracle.version()));
+}
+
+#[test]
+fn all_five_stores_agree_with_oracle() {
+    let script = random_script(1500, 120, 0xE9);
+    check_store(&PSkipList::create_volatile(64 << 20).unwrap(), &script);
+    check_store(&ESkipList::new(), &script);
+    check_store(&LockedMap::new(), &script);
+    check_store(&DbStore::mem(), &script);
+    let path = std::env::temp_dir().join(format!("mvkv-equiv-{}.db", std::process::id()));
+    check_store(&DbStore::reg(&path).unwrap(), &script);
+    let _ = std::fs::remove_file(&path);
+    let mut wal = path.into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+}
+
+#[test]
+fn remove_heavy_scripts_agree() {
+    // 50% removals, tiny key space → deep histories with many tombstones.
+    let mut rng = mvkv::workload::Mt19937_64::new(0xDEAD);
+    let script: Vec<Op> = (0..800)
+        .map(|_| {
+            let key = rng.next_below(10);
+            if rng.next_below(2) == 0 {
+                Op::Remove(key)
+            } else {
+                Op::Insert(key, rng.next_below(1000))
+            }
+        })
+        .collect();
+    check_store(&PSkipList::create_volatile(64 << 20).unwrap(), &script);
+    check_store(&ESkipList::new(), &script);
+    check_store(&LockedMap::new(), &script);
+    check_store(&DbStore::mem(), &script);
+}
+
+#[test]
+fn insert_only_monotone_keys() {
+    let script: Vec<Op> = (0..1000).map(|i| Op::Insert(i, i * 7)).collect();
+    check_store(&PSkipList::create_volatile(64 << 20).unwrap(), &script);
+    check_store(&ESkipList::new(), &script);
+}
+
+#[test]
+fn edge_key_values() {
+    // Extreme keys and values near the marker boundary.
+    let script = vec![
+        Op::Insert(0, 0),
+        Op::Insert(u64::MAX, (1 << 62) - 1),
+        Op::Insert(u64::MAX - 1, 1),
+        Op::Remove(0),
+        Op::Insert(0, 42),
+        Op::Remove(u64::MAX),
+    ];
+    check_store(&PSkipList::create_volatile(16 << 20).unwrap(), &script);
+    check_store(&ESkipList::new(), &script);
+    check_store(&LockedMap::new(), &script);
+    check_store(&DbStore::mem(), &script);
+}
+
+#[test]
+fn concurrent_disjoint_writers_converge_across_stores() {
+    // Partitioned concurrent writes; final snapshots must be identical
+    // across stores even though version interleavings differ.
+    fn run<S: mvkv::core::VersionedStore + Sync>(store: &S) -> Vec<(u64, u64)> {
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = &*store;
+                scope.spawn(move || {
+                    let s = store.session();
+                    for i in 0..500u64 {
+                        s.insert(t * 10_000 + i, t + i);
+                    }
+                    for i in 0..100u64 {
+                        s.remove(t * 10_000 + i * 5);
+                    }
+                });
+            }
+        });
+        store.wait_writes_complete();
+        store.session().extract_snapshot(store.tag())
+    }
+    let a = run(&PSkipList::create_volatile(64 << 20).unwrap());
+    let b = run(&ESkipList::new());
+    let c = run(&LockedMap::new());
+    let d = run(&DbStore::mem());
+    assert_eq!(a.len(), 4 * 400);
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+    assert_eq!(c, d);
+}
