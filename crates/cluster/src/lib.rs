@@ -9,7 +9,9 @@
 //!   by channels, with MPI-style point-to-point `send`/`recv` (matched on
 //!   source + tag) and collectives (binomial-tree broadcast, gather,
 //!   barrier). Used to validate the distributed protocols under genuine
-//!   concurrency.
+//!   concurrency. Every message travels in a checksummed [`wire`] frame,
+//!   and a seeded [`fault`] plan can inject drops, duplicates, corruption,
+//!   delays, and rank crashes deterministically.
 //! * [`net`] + [`dist`] — a deterministic *virtual-time* performance model:
 //!   per-rank compute is measured on real stores while every message is
 //!   charged `α + bytes/β` on per-rank virtual clocks. The figures of §V-H
@@ -19,17 +21,27 @@
 //! * [`merge`] — the paper's §IV-A merge kernels: the multi-threaded
 //!   two-way merge with binary-search partitioning, and the naive K-way
 //!   merge baseline (NaiveMerge vs OptMerge).
+//! * [`service`] — a fault-tolerant request protocol over [`comm`]:
+//!   sequence-numbered rounds, bounded retry with exponential backoff, a
+//!   coordinator-side failure detector, and [`service::Degraded`] partial
+//!   results over the surviving partitions (DESIGN.md §4.7 "Fault model").
 
 pub mod comm;
 pub mod dist;
+pub mod fault;
 pub mod merge;
 pub mod net;
 pub mod partition;
 pub mod service;
+pub mod wire;
 
-pub use comm::{run_cluster, Comm};
+pub use comm::{expect_ranks, run_cluster, run_cluster_with_faults, Comm, RecvError, SendError};
 pub use dist::{DistStore, MergeStrategy};
+pub use fault::{CrashPoint, FaultPlan, FaultStats, RankFailure, SplitMix64};
 pub use merge::{kway_merge, merge_two, merge_two_parallel};
-pub use net::{NetModel, VirtualNet};
+pub use net::{backoff, NetModel, VirtualNet};
 pub use partition::{ModuloPartitioner, Partitioner, RangePartitioner};
-pub use service::{Request, ServiceEndpoint};
+pub use service::{
+    Degraded, ProtocolError, Request, ServiceConfig, ServiceEndpoint, ServiceStats,
+};
+pub use wire::WireError;

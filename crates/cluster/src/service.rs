@@ -1,28 +1,76 @@
 //! A running distributed store service over the real message-passing
-//! runtime ([`crate::comm`]).
+//! runtime ([`crate::comm`]), hardened against message loss and rank
+//! failure.
 //!
 //! While [`crate::dist::DistStore`] models cluster *performance* on
-//! virtual clocks, this module executes the same protocols with genuine
-//! concurrency: every rank hosts a store partition and participates in
-//! collectives; rank 0 doubles as the coordinator issuing queries
-//! (mirroring the paper's §V-H driver, where "rank 0 acts as the
-//! initiator").
+//! virtual clocks, this module executes the protocols with genuine
+//! concurrency: every rank hosts a store partition, rank 0 doubles as
+//! the coordinator issuing queries (mirroring the paper's §V-H driver,
+//! where "rank 0 acts as the initiator").
 //!
-//! Protocol per round (all ranks execute the same collective sequence,
-//! keeping the tag space aligned):
+//! ### Protocol
 //!
-//! 1. rank 0 broadcasts an encoded [`Request`];
-//! 2. every rank computes its local contribution;
-//! 3. replies return via gather (find) or recursive-doubling merge
-//!    (snapshot) — the paper's OptMerge;
-//! 4. a `Shutdown` request ends the serve loops.
+//! The service runs a coordinator-centric star protocol designed to
+//! survive the faults [`crate::fault::FaultPlan`] can inject:
+//!
+//! 1. the coordinator stamps each round with a monotonically increasing
+//!    sequence number and sends the request point-to-point to every rank
+//!    it still believes alive;
+//! 2. every reply carries the request's sequence number; the coordinator
+//!    waits per rank with [`Comm::recv_timeout`], retrying with
+//!    exponential backoff ([`crate::net::backoff`]) and discarding stale
+//!    sequence numbers (late replies of earlier rounds);
+//! 3. servers deduplicate by sequence number — a retransmission of an
+//!    already-served round re-sends the cached reply instead of
+//!    recomputing (idempotent at-least-once delivery);
+//! 4. a rank that stays silent through `max_retries` rounds of backoff is
+//!    declared dead by the failure detector and excluded from every later
+//!    round; `find`/`snapshot` then return [`Degraded`] results tagged
+//!    with exactly the partitions that responded.
+//!
+//! Under a zero-fault plan nothing is dropped or retried, every rank
+//! responds on the first attempt, and results are identical to the
+//! fail-free protocol's.
 
-use crate::comm::Comm;
+use crate::comm::{Comm, RecvError};
 use crate::merge::{merge_two_parallel, Pair};
+use crate::net::backoff;
 use mvkv_core::{StoreSession, VersionedStore};
+use std::time::Duration;
 
 /// Absent-value sentinel on the wire (workload values are < 2^62).
 const NONE_SENTINEL: u64 = u64::MAX;
+
+/// Request channel tag (constant: sequence numbers, not tags, distinguish
+/// rounds — so retransmissions always match a pending receive).
+const TAG_REQ: u64 = 1;
+/// Reply channel tag.
+const TAG_REPLY: u64 = 2;
+
+/// Why remote-supplied bytes were rejected by a decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Message has the wrong size for its slot.
+    BadLength { len: usize },
+    /// Unknown request kind discriminant.
+    UnknownKind { kind: u64 },
+    /// Pair array length is not a multiple of one encoded pair.
+    BadPairArray { len: usize },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BadLength { len } => write!(f, "bad message length {len}"),
+            ProtocolError::UnknownKind { kind } => write!(f, "unknown request kind {kind}"),
+            ProtocolError::BadPairArray { len } => {
+                write!(f, "pair array of {len} bytes is not a whole number of pairs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// A coordinator-issued request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,34 +80,47 @@ pub enum Request {
     Shutdown,
 }
 
+/// Encoded size of a [`Request`].
+const REQUEST_BYTES: usize = 24;
+
+fn read_word(bytes: &[u8], word: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[word * 8..word * 8 + 8]);
+    u64::from_le_bytes(w)
+}
+
 impl Request {
-    fn encode(self) -> Vec<u8> {
+    pub fn encode(self) -> Vec<u8> {
         let (kind, a, b) = match self {
             Request::Find { key, version } => (1u64, key, version),
             Request::Snapshot { version, merge_threads } => (2, version, merge_threads),
             Request::Shutdown => (3, 0, 0),
         };
-        let mut out = Vec::with_capacity(24);
+        let mut out = Vec::with_capacity(REQUEST_BYTES);
         out.extend_from_slice(&kind.to_le_bytes());
         out.extend_from_slice(&a.to_le_bytes());
         out.extend_from_slice(&b.to_le_bytes());
         out
     }
 
-    fn decode(bytes: &[u8]) -> Request {
-        let word = |i: usize| {
-            u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("framed request"))
-        };
-        match word(0) {
-            1 => Request::Find { key: word(1), version: word(2) },
-            2 => Request::Snapshot { version: word(1), merge_threads: word(2) },
-            3 => Request::Shutdown,
-            k => panic!("unknown request kind {k}"),
+    /// Decodes a request; never panics, whatever the bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Request, ProtocolError> {
+        if bytes.len() != REQUEST_BYTES {
+            return Err(ProtocolError::BadLength { len: bytes.len() });
+        }
+        match read_word(bytes, 0) {
+            1 => Ok(Request::Find { key: read_word(bytes, 1), version: read_word(bytes, 2) }),
+            2 => Ok(Request::Snapshot {
+                version: read_word(bytes, 1),
+                merge_threads: read_word(bytes, 2),
+            }),
+            3 => Ok(Request::Shutdown),
+            kind => Err(ProtocolError::UnknownKind { kind }),
         }
     }
 }
 
-fn encode_pairs(pairs: &[Pair]) -> Vec<u8> {
+pub fn encode_pairs(pairs: &[Pair]) -> Vec<u8> {
     let mut out = Vec::with_capacity(pairs.len() * 16);
     for &(k, v) in pairs {
         out.extend_from_slice(&k.to_le_bytes());
@@ -68,146 +129,398 @@ fn encode_pairs(pairs: &[Pair]) -> Vec<u8> {
     out
 }
 
-fn decode_pairs(bytes: &[u8]) -> Vec<Pair> {
-    bytes
-        .chunks_exact(16)
-        .map(|c| {
-            (
-                u64::from_le_bytes(c[0..8].try_into().expect("framed pair")),
-                u64::from_le_bytes(c[8..16].try_into().expect("framed pair")),
-            )
-        })
-        .collect()
+/// Decodes a pair array; never panics, whatever the bytes.
+pub fn decode_pairs(bytes: &[u8]) -> Result<Vec<Pair>, ProtocolError> {
+    if !bytes.len().is_multiple_of(16) {
+        return Err(ProtocolError::BadPairArray { len: bytes.len() });
+    }
+    Ok(bytes.chunks_exact(16).map(|c| (read_word(c, 0), read_word(c, 1))).collect())
 }
 
-/// One rank's endpoint of the service (wraps the communicator plus the
-/// round counter that keeps collective tags aligned across ranks).
+/// Timeout/retry policy of the resilient protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// First-attempt reply timeout; later attempts double it.
+    pub base_timeout: Duration,
+    /// Retransmissions before a silent rank is declared dead.
+    pub max_retries: u32,
+    /// Server-side idle window: a server that hears nothing for this long
+    /// assumes the coordinator is gone and exits its loop.
+    pub idle_shutdown: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            base_timeout: Duration::from_millis(250),
+            max_retries: 3,
+            idle_shutdown: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A result that may cover only the surviving partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded<T> {
+    pub value: T,
+    /// Ranks whose partition contributed (always includes the
+    /// coordinator's own), sorted ascending.
+    pub responded: Vec<usize>,
+    /// Ranks the failure detector has declared dead, sorted ascending.
+    pub dead: Vec<usize>,
+}
+
+impl<T> Degraded<T> {
+    /// True when every partition contributed.
+    pub fn is_complete(&self) -> bool {
+        self.dead.is_empty()
+    }
+}
+
+/// Observable counters of the resilient protocol (the `core::stats`
+/// discipline applied to the service layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Completed request/serve rounds.
+    pub rounds: u64,
+    /// Request retransmissions after a reply timeout.
+    pub retries: u64,
+    /// Reply waits that expired.
+    pub timeouts: u64,
+    /// Ranks declared dead by the failure detector.
+    pub ranks_declared_dead: u64,
+    /// Remote-supplied bytes a decoder rejected.
+    pub protocol_errors: u64,
+    /// Requests a server had already executed (answered from cache).
+    pub duplicate_requests: u64,
+    /// Replies discarded for carrying an outdated sequence number.
+    pub stale_replies: u64,
+    /// Frames this rank's receiver discarded on checksum failure.
+    pub dropped_by_checksum: u64,
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} retries={} timeouts={} dead={} proto_err={} dup_req={} stale={} cksum_drop={}",
+            self.rounds,
+            self.retries,
+            self.timeouts,
+            self.ranks_declared_dead,
+            self.protocol_errors,
+            self.duplicate_requests,
+            self.stale_replies,
+            self.dropped_by_checksum,
+        )
+    }
+}
+
+/// One rank's endpoint of the service.
 pub struct ServiceEndpoint {
     comm: Comm,
-    round: u64,
+    config: ServiceConfig,
+    /// Coordinator: sequence number of the current round.
+    seq: u64,
+    /// Coordinator: per-rank death certificates.
+    dead: Vec<bool>,
+    /// Server: highest sequence number served, with its cached reply.
+    last_served: u64,
+    cached_reply: Vec<u8>,
+    stats: ServiceStats,
 }
 
 impl ServiceEndpoint {
     pub fn new(comm: Comm) -> Self {
-        ServiceEndpoint { comm, round: 0 }
+        Self::with_config(comm, ServiceConfig::default())
+    }
+
+    pub fn with_config(comm: Comm, config: ServiceConfig) -> Self {
+        let size = comm.size();
+        ServiceEndpoint {
+            comm,
+            config,
+            seq: 0,
+            dead: vec![false; size],
+            last_served: 0,
+            cached_reply: Vec::new(),
+            stats: ServiceStats::default(),
+        }
     }
 
     pub fn rank(&self) -> usize {
         self.comm.rank()
     }
 
-    fn next_tags(&mut self) -> (u64, u64) {
-        self.round += 1;
-        (self.round * 16, self.round * 16 + 8)
+    /// Protocol counters so far (checksum drops come from the wire layer).
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = self.stats;
+        s.dropped_by_checksum = self.comm.fault_stats().checksum_drops;
+        s
     }
 
-    /// Executes one protocol round. The coordinator (rank 0) passes
-    /// `Some(request)`; servers pass `None` and mirror the collectives.
-    /// Returns the coordinator's result, `None` elsewhere.
-    fn step<S: VersionedStore>(
-        &mut self,
-        store: &S,
-        request: Option<Request>,
-    ) -> (Request, Option<RoundResult>) {
-        let (req_tag, reply_tag) = self.next_tags();
-        let is_root = self.comm.rank() == 0;
-        let encoded = self.comm.bcast(0, request.map(Request::encode), req_tag);
-        let request = Request::decode(&encoded);
-        match request {
-            Request::Find { key, version } => {
-                let local = store.session().find(key, version).unwrap_or(NONE_SENTINEL);
-                let gathered = self.comm.gather(0, local.to_le_bytes().to_vec(), reply_tag);
-                let result = gathered.map(|replies| {
-                    let hit = replies
-                        .iter()
-                        .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("reply")))
-                        .find(|&v| v != NONE_SENTINEL);
-                    RoundResult::Find(hit)
-                });
-                (request, result)
-            }
-            Request::Snapshot { version, merge_threads } => {
-                let mut mine = store.session().extract_snapshot(version);
-                // Recursive doubling (paper OptMerge): odd survivors send,
-                // even survivors merge with the multi-threaded kernel.
-                let me = self.comm.rank();
-                let k = self.comm.size();
-                let mut step = 1usize;
-                while step < k {
-                    if me % (step * 2) == step {
-                        self.comm.send(me - step, reply_tag + step as u64, encode_pairs(&mine));
-                        mine.clear();
-                        break;
-                    } else if me.is_multiple_of(step * 2) && me + step < k {
-                        let bytes = self.comm.recv(me + step, reply_tag + step as u64);
-                        let theirs = decode_pairs(&bytes);
-                        mine = merge_two_parallel(&mine, &theirs, merge_threads as usize);
-                    }
-                    step *= 2;
-                }
-                let result = is_root.then_some(RoundResult::Snapshot(mine));
-                (request, result)
-            }
-            Request::Shutdown => (request, is_root.then_some(RoundResult::Done)),
+    /// Ranks currently declared dead, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.dead.iter().enumerate().filter(|(_, &d)| d).map(|(r, _)| r).collect()
+    }
+
+    fn declare_dead(&mut self, rank: usize) {
+        if !self.dead[rank] {
+            self.dead[rank] = true;
+            self.stats.ranks_declared_dead += 1;
         }
     }
 
-    /// Server loop for ranks 1..K: participate in rounds until shutdown.
-    pub fn serve<S: VersionedStore>(mut self, store: &S) -> u64 {
-        assert_ne!(self.comm.rank(), 0, "rank 0 coordinates; it does not serve");
-        let mut rounds = 0u64;
+    // -- coordinator internals ------------------------------------------------
+
+    /// `[seq][request]` wire image of the current round.
+    fn stamped(&self, request: Request) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + REQUEST_BYTES);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&request.encode());
+        out
+    }
+
+    /// Sends the stamped request to every rank still believed alive.
+    fn send_round(&mut self, msg: &[u8]) {
+        for rank in 1..self.comm.size() {
+            if !self.dead[rank] && self.comm.send(rank, TAG_REQ, msg.to_vec()).is_err() {
+                self.declare_dead(rank);
+            }
+        }
+    }
+
+    /// Waits for `rank`'s reply to the current round, retransmitting with
+    /// exponential backoff; `Err` means the rank was declared dead.
+    fn await_reply(&mut self, rank: usize, msg: &[u8]) -> Result<Vec<u8>, ()> {
+        let mut attempt = 0u32;
         loop {
-            let (request, _) = self.step(store, None);
-            if request == Request::Shutdown {
-                return rounds;
+            match self.comm.recv_timeout(rank, TAG_REPLY, backoff(self.config.base_timeout, attempt))
+            {
+                Ok(reply) => {
+                    if reply.len() < 8 {
+                        self.stats.protocol_errors += 1;
+                        continue;
+                    }
+                    let reply_seq = read_word(&reply, 0);
+                    if reply_seq < self.seq {
+                        self.stats.stale_replies += 1;
+                        continue;
+                    }
+                    return Ok(reply[8..].to_vec());
+                }
+                Err(RecvError::Timeout) => {
+                    self.stats.timeouts += 1;
+                    attempt += 1;
+                    if attempt > self.config.max_retries {
+                        self.declare_dead(rank);
+                        return Err(());
+                    }
+                    self.stats.retries += 1;
+                    if self.comm.send(rank, TAG_REQ, msg.to_vec()).is_err() {
+                        self.declare_dead(rank);
+                        return Err(());
+                    }
+                }
+                Err(RecvError::Disconnected) => {
+                    self.declare_dead(rank);
+                    return Err(());
+                }
             }
-            rounds += 1;
         }
+    }
+
+    /// One coordinator round: request out, per-rank replies (or death
+    /// certificates) in. Returns `(responded, bodies)` with bodies in
+    /// `responded` order; the coordinator's own contribution is NOT
+    /// included (rank 0 computes locally).
+    fn round(&mut self, request: Request) -> (Vec<usize>, Vec<Vec<u8>>) {
+        assert_eq!(self.comm.rank(), 0, "only rank 0 coordinates");
+        self.seq += 1;
+        let msg = self.stamped(request);
+        self.send_round(&msg);
+        let mut responded = Vec::new();
+        let mut bodies = Vec::new();
+        for rank in 1..self.comm.size() {
+            if self.dead[rank] {
+                continue;
+            }
+            if let Ok(body) = self.await_reply(rank, &msg) {
+                responded.push(rank);
+                bodies.push(body);
+            }
+        }
+        self.stats.rounds += 1;
+        (responded, bodies)
+    }
+
+    fn degraded<T>(&self, value: T, mut responded: Vec<usize>) -> Degraded<T> {
+        responded.insert(0, 0); // the coordinator always answers for itself
+        Degraded { value, responded, dead: self.dead_ranks() }
     }
 
     // -- coordinator API (rank 0) ---------------------------------------------
 
-    /// Distributed find across all partitions.
-    pub fn find<S: VersionedStore>(&mut self, store: &S, key: u64, version: u64) -> Option<u64> {
-        assert_eq!(self.comm.rank(), 0);
-        match self.step(store, Some(Request::Find { key, version })) {
-            (_, Some(RoundResult::Find(hit))) => hit,
-            _ => unreachable!("root always gets a find result"),
+    /// Distributed find across the surviving partitions, tagged with who
+    /// answered.
+    pub fn find_detailed<S: VersionedStore>(
+        &mut self,
+        store: &S,
+        key: u64,
+        version: u64,
+    ) -> Degraded<Option<u64>> {
+        let local = store.session().find(key, version);
+        let (responded, bodies) = self.round(Request::Find { key, version });
+        let mut hit = local;
+        for body in &bodies {
+            if body.len() != 8 {
+                self.stats.protocol_errors += 1;
+                continue;
+            }
+            let value = read_word(body, 0);
+            if value != NONE_SENTINEL {
+                hit = hit.or(Some(value));
+            }
         }
+        self.degraded(hit, responded)
     }
 
-    /// Distributed globally sorted snapshot (recursive-doubling merge).
+    /// Distributed find; `None` may mean "absent" or "owning partition
+    /// dead" — use [`ServiceEndpoint::find_detailed`] to distinguish.
+    pub fn find<S: VersionedStore>(&mut self, store: &S, key: u64, version: u64) -> Option<u64> {
+        self.find_detailed(store, key, version).value
+    }
+
+    /// Globally sorted snapshot over the surviving partitions, tagged with
+    /// who answered.
+    pub fn snapshot_detailed<S: VersionedStore>(
+        &mut self,
+        store: &S,
+        version: u64,
+        merge_threads: usize,
+    ) -> Degraded<Vec<Pair>> {
+        let mut merged = store.session().extract_snapshot(version);
+        let (mut responded, bodies) =
+            self.round(Request::Snapshot { version, merge_threads: merge_threads as u64 });
+        let mut kept = vec![true; responded.len()];
+        for (i, body) in bodies.iter().enumerate() {
+            match decode_pairs(body) {
+                Ok(theirs) => merged = merge_two_parallel(&merged, &theirs, merge_threads),
+                Err(_) => {
+                    // Undecodable contribution: count it and report the rank
+                    // as not having contributed to this snapshot.
+                    self.stats.protocol_errors += 1;
+                    kept[i] = false;
+                }
+            }
+        }
+        let mut keep = kept.into_iter();
+        responded.retain(|_| keep.next().unwrap_or(false));
+        self.degraded(merged, responded)
+    }
+
+    /// Globally sorted snapshot (possibly partial under faults).
     pub fn snapshot<S: VersionedStore>(
         &mut self,
         store: &S,
         version: u64,
         merge_threads: usize,
     ) -> Vec<Pair> {
+        self.snapshot_detailed(store, version, merge_threads).value
+    }
+
+    /// Terminates every surviving server loop. Tolerant by design: peers
+    /// that already exited or crashed are skipped, and acks are awaited
+    /// only briefly (servers also self-terminate on `idle_shutdown`).
+    pub fn shutdown<S: VersionedStore>(mut self, _store: &S) {
         assert_eq!(self.comm.rank(), 0);
-        match self.step(store, Some(Request::Snapshot { version, merge_threads: merge_threads as u64 }))
-        {
-            (_, Some(RoundResult::Snapshot(pairs))) => pairs,
-            _ => unreachable!("root always gets a snapshot result"),
+        self.seq += 1;
+        let msg = self.stamped(Request::Shutdown);
+        for rank in 1..self.comm.size() {
+            if self.dead[rank] {
+                continue;
+            }
+            if self.comm.send(rank, TAG_REQ, msg.clone()).is_err() {
+                continue; // already gone — that is fine during teardown
+            }
+            // Best-effort ack: one timeout window, no retries, no penalty.
+            let _ = self.comm.recv_timeout(rank, TAG_REPLY, self.config.base_timeout);
         }
     }
 
-    /// Terminates every server loop.
-    pub fn shutdown<S: VersionedStore>(mut self, store: &S) {
-        assert_eq!(self.comm.rank(), 0);
-        let _ = self.step(store, Some(Request::Shutdown));
-    }
-}
+    // -- server side ----------------------------------------------------------
 
-enum RoundResult {
-    Find(Option<u64>),
-    Snapshot(Vec<Pair>),
-    Done,
+    /// Computes the reply body for one request against the local partition.
+    fn execute<S: VersionedStore>(store: &S, request: Request) -> Vec<u8> {
+        match request {
+            Request::Find { key, version } => {
+                let value = store.session().find(key, version).unwrap_or(NONE_SENTINEL);
+                value.to_le_bytes().to_vec()
+            }
+            Request::Snapshot { version, .. } => {
+                encode_pairs(&store.session().extract_snapshot(version))
+            }
+            Request::Shutdown => Vec::new(),
+        }
+    }
+
+    /// Server loop for ranks 1..K: answer rounds until shutdown (or a
+    /// prolonged silence implying the coordinator died). Returns the
+    /// number of distinct rounds served.
+    pub fn serve<S: VersionedStore>(mut self, store: &S) -> u64 {
+        assert_ne!(self.comm.rank(), 0, "rank 0 coordinates; it does not serve");
+        let mut rounds = 0u64;
+        loop {
+            let msg = match self.comm.recv_timeout(0, TAG_REQ, self.config.idle_shutdown) {
+                Ok(msg) => msg,
+                // Silence or a vanished coordinator: nobody is left to
+                // answer, exit rather than block forever.
+                Err(RecvError::Timeout) | Err(RecvError::Disconnected) => return rounds,
+            };
+            if msg.len() != 8 + REQUEST_BYTES {
+                self.stats.protocol_errors += 1;
+                continue;
+            }
+            let seq = read_word(&msg, 0);
+            if seq <= self.last_served {
+                // Retransmission of an already-served round: resend the
+                // cached reply instead of recomputing (idempotence).
+                self.stats.duplicate_requests += 1;
+                if seq == self.last_served && !self.cached_reply.is_empty() {
+                    let _ = self.comm.send(0, TAG_REPLY, self.cached_reply.clone());
+                }
+                continue;
+            }
+            let request = match Request::decode(&msg[8..]) {
+                Ok(request) => request,
+                Err(_) => {
+                    self.stats.protocol_errors += 1;
+                    continue;
+                }
+            };
+            let mut reply = Vec::with_capacity(8);
+            reply.extend_from_slice(&seq.to_le_bytes());
+            reply.extend_from_slice(&Self::execute(store, request));
+            if request == Request::Shutdown {
+                let _ = self.comm.send(0, TAG_REPLY, reply); // best-effort ack
+                return rounds;
+            }
+            self.last_served = seq;
+            self.cached_reply = reply.clone();
+            if self.comm.send(0, TAG_REPLY, reply).is_err() {
+                // Coordinator gone mid-round; no further requests can come.
+                return rounds;
+            }
+            rounds += 1;
+            self.stats.rounds += 1;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::comm::run_cluster;
+    use crate::comm::{expect_ranks, run_cluster};
     use mvkv_core::ESkipList;
 
     fn partition(rank: usize, k: usize, n: u64) -> ESkipList {
@@ -230,15 +543,34 @@ mod tests {
             Request::Snapshot { version: 7, merge_threads: 4 },
             Request::Shutdown,
         ] {
-            assert_eq!(Request::decode(&req.encode()), req);
+            assert_eq!(Request::decode(&req.encode()), Ok(req));
         }
+    }
+
+    #[test]
+    fn request_decode_rejects_malformed_bytes() {
+        assert_eq!(Request::decode(&[]), Err(ProtocolError::BadLength { len: 0 }));
+        assert_eq!(Request::decode(&[1; 23]), Err(ProtocolError::BadLength { len: 23 }));
+        assert_eq!(Request::decode(&[1; 25]), Err(ProtocolError::BadLength { len: 25 }));
+        let mut bad = Request::Shutdown.encode();
+        bad[0] = 99;
+        assert_eq!(Request::decode(&bad), Err(ProtocolError::UnknownKind { kind: 99 }));
+    }
+
+    #[test]
+    fn pair_codec_roundtrip_and_rejection() {
+        let pairs = vec![(1u64, 2u64), (3, 4), (u64::MAX, 0)];
+        assert_eq!(decode_pairs(&encode_pairs(&pairs)), Ok(pairs));
+        assert_eq!(decode_pairs(&[0u8; 15]), Err(ProtocolError::BadPairArray { len: 15 }));
+        assert_eq!(decode_pairs(&[0u8; 17]), Err(ProtocolError::BadPairArray { len: 17 }));
+        assert_eq!(decode_pairs(&[]), Ok(Vec::new()));
     }
 
     #[test]
     fn service_find_and_snapshot_across_ranks() {
         let k = 5usize;
         let n = 300u64;
-        let results = run_cluster(k, |comm| {
+        let results = expect_ranks(run_cluster(k, |comm| {
             let rank = comm.rank();
             let store = partition(rank, k, n);
             let endpoint = ServiceEndpoint::new(comm);
@@ -250,16 +582,24 @@ mod tests {
                 }
                 assert_eq!(ep.find(&store, 10_000_000, u64::MAX), None);
                 // Globally sorted snapshot.
-                let snap = ep.snapshot(&store, u64::MAX, 2);
-                assert_eq!(snap.len(), (n as usize) * k);
-                assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
-                assert!(snap.iter().all(|&(key, v)| v == key + 1));
+                let snap = ep.snapshot_detailed(&store, u64::MAX, 2);
+                assert!(snap.is_complete());
+                assert_eq!(snap.responded, vec![0, 1, 2, 3, 4]);
+                assert_eq!(snap.value.len(), (n as usize) * k);
+                assert!(snap.value.windows(2).all(|w| w[0].0 < w[1].0));
+                assert!(snap.value.iter().all(|&(key, v)| v == key + 1));
+                // A fail-free run performs zero recoveries.
+                let stats = ep.stats();
+                assert_eq!(stats.retries, 0);
+                assert_eq!(stats.timeouts, 0);
+                assert_eq!(stats.ranks_declared_dead, 0);
+                assert_eq!(stats.dropped_by_checksum, 0);
                 ep.shutdown(&store);
                 0u64
             } else {
                 endpoint.serve(&store)
             }
-        });
+        }));
         // Every server handled all 9 rounds before shutdown.
         assert!(results[1..].iter().all(|&r| r == 9), "server rounds: {results:?}");
     }
@@ -267,7 +607,7 @@ mod tests {
     #[test]
     fn service_snapshot_respects_versions() {
         let k = 4usize;
-        let results = run_cluster(k, |comm| {
+        let results = expect_ranks(run_cluster(k, |comm| {
             let rank = comm.rank();
             let store = partition(rank, k, 50);
             let endpoint = ServiceEndpoint::new(comm);
@@ -283,20 +623,41 @@ mod tests {
                 endpoint.serve(&store);
                 true
             }
-        });
+        }));
         assert!(results.into_iter().all(|r| r));
     }
 
     #[test]
     fn single_rank_cluster_works() {
-        let results = run_cluster(1, |comm| {
+        let results = expect_ranks(run_cluster(1, |comm| {
             let store = partition(0, 1, 20);
             let mut ep = ServiceEndpoint::new(comm);
             let hit = ep.find(&store, 7, u64::MAX);
-            let snap = ep.snapshot(&store, u64::MAX, 1);
+            let snap = ep.snapshot_detailed(&store, u64::MAX, 1);
+            assert_eq!(snap.responded, vec![0]);
+            assert!(snap.is_complete());
+            let n = snap.value.len();
             ep.shutdown(&store);
-            (hit, snap.len())
-        });
+            (hit, n)
+        }));
         assert_eq!(results[0], (Some(8), 20));
+    }
+
+    #[test]
+    fn server_exits_on_coordinator_silence() {
+        let results = expect_ranks(run_cluster(2, |comm| {
+            let store = partition(comm.rank(), 2, 5);
+            let config = ServiceConfig {
+                idle_shutdown: Duration::from_millis(50),
+                ..ServiceConfig::default()
+            };
+            let ep = ServiceEndpoint::with_config(comm, config);
+            if ep.rank() == 0 {
+                0 // never sends anything; the server must still terminate
+            } else {
+                ep.serve(&store)
+            }
+        }));
+        assert_eq!(results[1], 0, "idle server self-terminates without serving");
     }
 }

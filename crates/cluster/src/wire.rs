@@ -1,0 +1,155 @@
+//! Hardened wire framing for the message-passing runtime.
+//!
+//! Every payload that crosses a [`crate::comm::Comm`] link travels inside a
+//! length-prefixed, checksummed frame:
+//!
+//! ```text
+//! [ payload length: u64 LE | FNV-1a checksum: u64 LE | payload bytes … ]
+//! ```
+//!
+//! The checksum covers the length field *and* the payload, so a single
+//! flipped byte anywhere in the frame — length, checksum word, or body — is
+//! detected. Decoding never panics: [`unframe`]/[`deframe`] return
+//! `Result<_, WireError>`, and the communicator treats any decode failure
+//! as a dropped message (the retry layer in [`crate::service`] recovers).
+
+/// Bytes of framing overhead preceding the payload.
+pub const FRAME_HEADER: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Why a received frame was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than its fixed header.
+    TooShort { len: usize },
+    /// Header length disagrees with the bytes actually present.
+    LengthMismatch { header: u64, actual: u64 },
+    /// Stored checksum does not match the recomputed one.
+    ChecksumMismatch { stored: u64, computed: u64 },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TooShort { len } => write!(f, "frame too short ({len} bytes)"),
+            WireError::LengthMismatch { header, actual } => {
+                write!(f, "frame length mismatch: header says {header}, got {actual}")
+            }
+            WireError::ChecksumMismatch { stored, computed } => {
+                write!(f, "frame checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a over the length prefix and the payload.
+fn frame_checksum(len: u64, payload: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in len.to_le_bytes().iter().chain(payload) {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Wraps `payload` in a checksummed frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u64;
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&frame_checksum(len, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(w)
+}
+
+/// Validates a frame and returns a view of its payload.
+pub fn deframe(frame: &[u8]) -> Result<&[u8], WireError> {
+    if frame.len() < FRAME_HEADER {
+        return Err(WireError::TooShort { len: frame.len() });
+    }
+    let header_len = read_u64(frame, 0);
+    let stored = read_u64(frame, 8);
+    let payload = &frame[FRAME_HEADER..];
+    if header_len != payload.len() as u64 {
+        return Err(WireError::LengthMismatch { header: header_len, actual: payload.len() as u64 });
+    }
+    let computed = frame_checksum(header_len, payload);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Validates a frame and returns its payload by value (no copy of the
+/// payload bytes beyond shifting out the header).
+pub fn unframe(mut frame: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    deframe(&frame)?;
+    frame.drain(..FRAME_HEADER);
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_payload() {
+        for payload in [&b""[..], b"x", b"hello frame", &[0u8; 1024][..]] {
+            let f = frame(payload);
+            assert_eq!(deframe(&f).unwrap(), payload);
+            assert_eq!(unframe(f).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let payload: Vec<u8> = (0..64u8).collect();
+        let clean = frame(&payload);
+        for pos in 0..clean.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bad = clean.clone();
+                bad[pos] ^= bit;
+                assert!(deframe(&bad).is_err(), "flip at {pos} (bit {bit:#x}) not detected");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let f = frame(b"payload");
+        assert_eq!(deframe(&f[..4]), Err(WireError::TooShort { len: 4 }));
+        assert!(matches!(deframe(&f[..FRAME_HEADER + 3]), Err(WireError::LengthMismatch { .. })));
+        assert!(matches!(deframe(&[]), Err(WireError::TooShort { len: 0 })));
+    }
+
+    #[test]
+    fn extended_frames_are_rejected() {
+        let mut f = frame(b"payload");
+        f.push(0);
+        assert!(matches!(deframe(&f), Err(WireError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for len in 0..200usize {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 56) as u8
+                })
+                .collect();
+            let _ = deframe(&bytes); // must not panic, whatever the bytes
+        }
+    }
+}

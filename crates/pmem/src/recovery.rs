@@ -105,4 +105,69 @@ mod tests {
         assert_eq!(audit.indeterminate_blocks, 1);
         assert_eq!(audit.allocated_blocks, 0);
     }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mvkv-audit-{}-{name}.pool", std::process::id()))
+    }
+
+    #[test]
+    fn file_backed_indeterminate_block_survives_reopen() {
+        let path = temp("indeterminate");
+        {
+            let pool = PmemPool::create_file(&path, 1 << 20).unwrap();
+            let a = pool.alloc(64).unwrap();
+            let _b = pool.alloc(128).unwrap();
+            pool.dealloc(a);
+            let c = pool.alloc(256).unwrap();
+            // Crash mid-allocation of c: the state word never fully
+            // persisted.
+            pool.write_u64(c - BLOCK_HEADER + 8, 0xDEAD_0001);
+            pool.persist(c - BLOCK_HEADER + 8, 8);
+            pool.sync_all();
+        } // unclean close: nothing repairs the state word on the way out
+          // The classification must survive a genuine re-mmap, where the
+          // reopen's heap scan conservatively keeps the block live.
+        let pool = PmemPool::open_file(&path).unwrap();
+        let after = audit(&pool);
+        assert_eq!(after.indeterminate_blocks, 1, "torn state survives re-mmap");
+        assert_eq!(after.allocated_blocks, 1);
+        assert_eq!(after.free_blocks, 1);
+        assert_eq!(after.torn_tail_bytes, 0);
+        // And the pool stays usable: new allocations land beyond the wreck.
+        let d = pool.alloc(64).unwrap();
+        assert!(d > 0);
+        assert_eq!(audit(&pool).indeterminate_blocks, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backed_torn_tail_is_classified_then_repaired_by_reopen() {
+        let path = temp("torntail");
+        {
+            let pool = PmemPool::create_file(&path, 1 << 20).unwrap();
+            let _a = pool.alloc(64).unwrap();
+            pool.sync_all();
+        }
+        // Reopen onto a real mmap, then tear an allocation: the bump
+        // cursor advances but the block header never gets written.
+        let healthy_bump;
+        {
+            let pool = PmemPool::open_file(&path).unwrap();
+            assert_eq!(audit(&pool), audit(&pool), "audit is read-only");
+            healthy_bump = pool.read_u64(OFF_BUMP);
+            pool.write_u64(OFF_BUMP, healthy_bump + 512);
+            pool.persist(OFF_BUMP, 8);
+            let torn = audit(&pool);
+            assert_eq!(torn.torn_tail_bytes, 512, "tail classified over the live mmap");
+            assert_eq!(torn.allocated_blocks, 1);
+            pool.sync_all();
+        }
+        // The next reopen's heap scan re-bases the bump at the tear.
+        let pool = PmemPool::open_file(&path).unwrap();
+        let repaired = audit(&pool);
+        assert_eq!(repaired.torn_tail_bytes, 0, "reopen repairs the tail");
+        assert_eq!(repaired.allocated_blocks, 1);
+        assert_eq!(pool.read_u64(OFF_BUMP), healthy_bump, "bump re-based to the last valid block");
+        std::fs::remove_file(&path).unwrap();
+    }
 }

@@ -4,7 +4,7 @@
 mod common;
 
 use common::{random_script, Oracle, Op};
-use mvkv::cluster::{run_cluster, DistStore, MergeStrategy, NetModel};
+use mvkv::cluster::{expect_ranks, run_cluster, DistStore, MergeStrategy, NetModel};
 use mvkv::core::{ESkipList, PSkipList, StoreSession, VersionedStore};
 
 /// Splits a script across K ranks by key ownership (`key % K`), applying
@@ -70,7 +70,7 @@ fn real_comm_cluster_runs_bcast_reduce_find() {
     // broadcasts a query; ranks reply via gather; rank 0 resolves.
     let k = 6usize;
     let n = 200u64;
-    let results = run_cluster(k, |mut comm| {
+    let results = expect_ranks(run_cluster(k, |mut comm| {
         let rank = comm.rank() as u64;
         let store = ESkipList::new();
         {
@@ -101,7 +101,7 @@ fn real_comm_cluster_runs_bcast_reduce_find() {
             }
         }
         answers
-    });
+    }));
     // Only rank 0 accumulated answers.
     assert_eq!(results[0], vec![Some(12), Some(340), Some(1206), None]);
     assert!(results[1..].iter().all(Vec::is_empty));
@@ -119,7 +119,7 @@ fn real_comm_cluster_hierarchic_merge_matches_kway() {
     let expected = mvkv::cluster::kway_merge(&partitions);
 
     let parts = &partitions;
-    let results = run_cluster(k, move |mut comm| {
+    let results = expect_ranks(run_cluster(k, move |mut comm| {
         let me = comm.rank();
         let mut mine: Vec<(u64, u64)> = parts[me].clone();
         let mut step = 1usize;
@@ -131,7 +131,7 @@ fn real_comm_cluster_hierarchic_merge_matches_kway() {
                     bytes.extend_from_slice(&key.to_le_bytes());
                     bytes.extend_from_slice(&value.to_le_bytes());
                 }
-                comm.send(me - step, step as u64, bytes);
+                comm.send(me - step, step as u64, bytes).unwrap();
                 mine.clear();
                 break;
             } else if me % (step * 2) == 0 && me + step < k {
@@ -150,7 +150,7 @@ fn real_comm_cluster_hierarchic_merge_matches_kway() {
             step *= 2;
         }
         mine
-    });
+    }));
     assert_eq!(results[0], expected);
     assert!(results[1..].iter().all(Vec::is_empty));
 }

@@ -152,6 +152,35 @@ fn dbreg_round_trips_and_checkpoints() {
 }
 
 #[test]
+fn file_backed_audit_classification_survives_crash_and_remap() {
+    use mvkv::pmem::{layout, recovery, PmemPool};
+    let path = temp("audit-crash.pool");
+    {
+        let pool = PmemPool::create_file(&path, 4 << 20).unwrap();
+        let keep = pool.alloc(64).unwrap();
+        let gone = pool.alloc(64).unwrap();
+        pool.dealloc(gone);
+        // Simulated crash mid-allocation: header written, state word torn.
+        let torn = pool.alloc(256).unwrap();
+        pool.write_u64(torn - layout::BLOCK_HEADER + 8, 0xBAD_C0DE);
+        pool.persist(torn - layout::BLOCK_HEADER + 8, 8);
+        pool.write_u64(keep, 42);
+        pool.persist(keep, 8);
+        pool.set_root(keep);
+        pool.sync_all();
+    }
+    // Audit runs against a fresh mmap of the file, not the writer's memory.
+    let pool = PmemPool::open_file(&path).unwrap();
+    let audit = recovery::audit(&pool);
+    assert_eq!(audit.indeterminate_blocks, 1, "torn block classified after re-mmap");
+    assert_eq!(audit.allocated_blocks, 1);
+    assert_eq!(audit.free_blocks, 1);
+    assert_eq!(audit.torn_tail_bytes, 0);
+    assert_eq!(pool.read_u64(pool.root()), 42, "live data intact next to the wreck");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn pool_audit_is_clean_after_heavy_churn() {
     let store = PSkipList::create_volatile(128 << 20).unwrap();
     let mut oracle = Oracle::new();
