@@ -209,5 +209,98 @@ fn extension_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, history_ops, skiplist_ops, pmem_ops, db_ops, merge_ops, extension_ops);
+/// Allocator contention: every thread churns small blocks through the
+/// sharded arenas. With per-shard free lists the threads stay on disjoint
+/// lists and the pool's bump cursor is touched only on batched refills.
+fn alloc_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_contention");
+    group.sample_size(10);
+    let pool = PmemPool::create_volatile(1 << 28).expect("pool");
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("churn_64B_{threads}t"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|| {
+                            let mut held = Vec::with_capacity(8);
+                            for round in 0..2_000 {
+                                held.push(pool.alloc(64).expect("alloc"));
+                                if round % 3 == 0 {
+                                    pool.dealloc(held.swap_remove(round % held.len()));
+                                }
+                            }
+                            for off in held {
+                                pool.dealloc(off);
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Batched vs per-pair inserts on PSkipList: `insert_batch` publishes a
+/// whole chunk behind a single fence, so the gap between the two series is
+/// the per-operation fence cost.
+fn insert_batch_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_batch");
+    group.sample_size(10);
+    // Every iteration inserts fresh keys; bound the iteration count so the
+    // fixed-size pools comfortably hold the accumulated histories.
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("pskiplist_batch64_{threads}t"), |b| {
+            let store = mvkv_core::PSkipList::create_volatile(1 << 28).expect("store");
+            let mut base = 0u64;
+            b.iter(|| {
+                base += 1;
+                std::thread::scope(|s| {
+                    for tid in 0..threads as u64 {
+                        let store = &store;
+                        s.spawn(move || {
+                            let pairs: Vec<(u64, u64)> = (0..64u64)
+                                .map(|i| ((tid << 40) | (base * 64 + i), i + 1))
+                                .collect();
+                            store.session().insert_batch(&pairs);
+                        });
+                    }
+                });
+            });
+        });
+        group.bench_function(format!("pskiplist_single_{threads}t"), |b| {
+            let store = mvkv_core::PSkipList::create_volatile(1 << 28).expect("store");
+            let mut base = 0u64;
+            b.iter(|| {
+                base += 1;
+                std::thread::scope(|s| {
+                    for tid in 0..threads as u64 {
+                        let store = &store;
+                        s.spawn(move || {
+                            let session = store.session();
+                            for i in 0..64u64 {
+                                session.insert((tid << 40) | (base * 64 + i), i + 1);
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    history_ops,
+    skiplist_ops,
+    pmem_ops,
+    db_ops,
+    merge_ops,
+    extension_ops,
+    alloc_contention,
+    insert_batch_ops
+);
 criterion_main!(benches);

@@ -53,6 +53,15 @@ pub trait StoreSession {
     /// Removes `key`, tagging a new snapshot; returns the assigned version.
     fn remove(&self, key: u64) -> u64;
 
+    /// Inserts every `(key, value)` pair, tagging one snapshot per pair;
+    /// returns the assigned versions in order. Semantically identical to
+    /// calling [`StoreSession::insert`] per pair — stores with a batched
+    /// write path override this to amortize persist-ordering and watermark
+    /// work across the batch (see `PSkipList`).
+    fn insert_batch(&self, pairs: &[Pair]) -> Vec<u64> {
+        pairs.iter().map(|&(k, v)| self.insert(k, v)).collect()
+    }
+
     /// Value of `key` in snapshot `version` (`None` if absent or removed).
     fn find(&self, key: u64, version: u64) -> Option<u64>;
 

@@ -147,7 +147,7 @@ impl StoreSession for &ESkipList {
     fn extract_snapshot(&self, version: u64) -> Vec<Pair> {
         self.counters.snapshot_extraction();
         let fc = self.clock.watermark();
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.index.len() as usize);
         for (&key, payload) in self.index.iter() {
             match self.history(payload).find_raw(version, fc) {
                 Some(TOMBSTONE) | None => {}

@@ -107,7 +107,7 @@ impl StoreSession for &LockedMap {
         // The lock is held for the whole tree walk — the naive approach the
         // paper contrasts against (its §V-F degradation).
         let map = self.map.lock();
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(map.len());
         for (&key, hist) in map.iter() {
             match hist.find_raw(version, fc) {
                 Some(TOMBSTONE) | None => {}

@@ -26,25 +26,24 @@ where
     let threads = threads.max(1);
     let sink = &sink;
     let counts: Vec<(u64, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                scope.spawn(move || {
-                    let mut blocks = 0u64;
-                    let mut pairs = 0u64;
-                    for (off, index) in chain.blocks() {
-                        if index as usize % threads != tid {
-                            continue; // claimed by another thread
-                        }
-                        blocks += 1;
-                        for (key, hist) in chain.block_pairs(off) {
-                            sink(key, hist);
-                            pairs += 1;
-                        }
+        let mut handles = Vec::with_capacity(threads);
+        handles.extend((0..threads).map(|tid| {
+            scope.spawn(move || {
+                let mut blocks = 0u64;
+                let mut pairs = 0u64;
+                for (off, index) in chain.blocks() {
+                    if index as usize % threads != tid {
+                        continue; // claimed by another thread
                     }
-                    (blocks, pairs)
-                })
+                    blocks += 1;
+                    for (key, hist) in chain.block_pairs(off) {
+                        sink(key, hist);
+                        pairs += 1;
+                    }
+                }
+                (blocks, pairs)
             })
-            .collect();
+        }));
         handles.into_iter().map(|h| h.join().expect("rebuild worker panicked")).collect()
     });
     RebuildStats {

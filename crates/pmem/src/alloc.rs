@@ -1,4 +1,4 @@
-//! Thread-safe persistent allocator.
+//! Thread-safe persistent allocator with sharded arenas.
 //!
 //! Design (see crate docs for the crash story):
 //!
@@ -6,27 +6,77 @@
 //!   16-aligned, never split or coalesced — so it is always walkable.
 //! * Small requests are rounded to a size class; freed class blocks go to
 //!   volatile per-class free lists (rebuilt by scanning on every open).
+//! * The free lists are **sharded**: each thread is pinned to one of
+//!   [`NUM_SHARDS`] arenas (`thread-id % NUM_SHARDS`) and allocates from its
+//!   own shard's lists without contending with other shards. A miss first
+//!   tries to *steal* from sibling shards, and only then falls back to the
+//!   global bump cursor — where it grabs a whole **batch** of same-class
+//!   blocks per cursor CAS ([`REFILL_BATCH`]), parking the extras in its own
+//!   shard. This amortizes both the cursor contention and the header
+//!   persists across the batch (cf. per-thread PM arenas in Marathe et al.,
+//!   *Persistent Memory Transactions*).
 //! * Large requests (> 4 KiB payload) bump-allocate exactly; freed large
-//!   blocks go to a volatile best-fit map.
+//!   blocks go to a volatile best-fit map (global — large allocations are
+//!   rare and not on the hot path).
 //! * The bump cursor lives in the superblock and is advanced with a word
-//!   atomic `fetch_add`, making the fast path lock-free.
+//!   atomic CAS, making the fast path lock-free.
 //!
-//! Persist ordering on allocation: header (size, state) is persisted before
-//! the payload offset is returned, so any payload the caller persists is
-//! covered by a durable header. A crash between cursor advance and header
-//! persist leaks only the in-flight block; the open-time scan stops at the
-//! first invalid header and re-bases the cursor there.
+//! Persist ordering on allocation: headers (size, state) are persisted
+//! before the payload offset is returned, so any payload the caller
+//! persists is covered by a durable header. A crash between cursor advance
+//! and header persist leaks at most the in-flight batch; the open-time scan
+//! stops at the first invalid header and re-bases the cursor there. Batch
+//! refill pre-carves the extra blocks with durable `STATE_FREE` headers, so
+//! a crash after the fence leaves them walkable and reusable.
 
 use crate::layout::*;
 use crate::pool::PmemPool;
 use crate::{PmemError, Result};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of allocation arenas. Threads map onto shards round-robin, so up
+/// to this many allocating threads proceed without touching a shared lock.
+pub const NUM_SHARDS: usize = 8;
+
+/// Class blocks carved from the bump cursor per refill CAS. The batch
+/// shrinks (8 → 4 → 2 → 1) when the heap tail is too small for a full one.
+pub const REFILL_BATCH: u64 = 8;
+
+/// Returns this thread's shard index. Assigned once per thread from a
+/// global round-robin counter — the `thread-id % N` scheme of the issue,
+/// with ids dense by construction so shards load-balance.
+fn shard_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// One allocation arena: per-class free lists plus traffic counters.
+struct Shard {
+    class_free: [Mutex<Vec<u64>>; NUM_CLASSES],
+    hits: AtomicU64,
+    refills: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            class_free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            hits: AtomicU64::new(0),
+            refills: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+}
 
 /// Volatile allocator state attached to a pool.
 pub struct Allocator {
-    class_free: [Mutex<Vec<u64>>; NUM_CLASSES],
+    shards: [Shard; NUM_SHARDS],
     /// Freed large blocks: total block size → payload offsets.
     large_free: Mutex<BTreeMap<u64, Vec<u64>>>,
     live_blocks: AtomicU64,
@@ -47,6 +97,12 @@ pub struct AllocStats {
     pub total_allocs: u64,
     /// Lifetime free count (this process).
     pub total_frees: u64,
+    /// Per-shard allocations served from the shard's own free lists.
+    pub shard_hits: [u64; NUM_SHARDS],
+    /// Per-shard batched refills from the bump cursor.
+    pub shard_refills: [u64; NUM_SHARDS],
+    /// Per-shard allocations served by stealing from a sibling shard.
+    pub shard_steals: [u64; NUM_SHARDS],
 }
 
 impl Default for Allocator {
@@ -58,7 +114,7 @@ impl Default for Allocator {
 impl Allocator {
     pub fn new() -> Self {
         Allocator {
-            class_free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            shards: std::array::from_fn(|_| Shard::new()),
             large_free: Mutex::new(BTreeMap::new()),
             live_blocks: AtomicU64::new(0),
             total_allocs: AtomicU64::new(0),
@@ -70,12 +126,26 @@ impl Allocator {
     pub fn alloc(&self, pool: &PmemPool, len: usize) -> Result<u64> {
         let len = len.max(1);
         if let Some(class) = class_for(len) {
-            if let Some(off) = self.class_free[class].lock().pop() {
+            let me = shard_id();
+            // 1. Own arena — the contention-free fast path.
+            if let Some(off) = self.shards[me].class_free[class].lock().pop() {
+                self.shards[me].hits.fetch_add(1, Ordering::Relaxed);
                 self.mark_allocated(pool, off);
                 return Ok(off);
             }
-            let payload = SIZE_CLASSES[class] as u64;
-            return self.bump_new_block(pool, payload, len);
+            // 2. Steal from a sibling before burning fresh heap, so blocks
+            //    freed by other threads (or redistributed by a reopen scan)
+            //    are found before the bump cursor moves.
+            for delta in 1..NUM_SHARDS {
+                let sib = (me + delta) % NUM_SHARDS;
+                if let Some(off) = self.shards[sib].class_free[class].lock().pop() {
+                    self.shards[me].steals.fetch_add(1, Ordering::Relaxed);
+                    self.mark_allocated(pool, off);
+                    return Ok(off);
+                }
+            }
+            // 3. Batched refill from the global cursor.
+            return self.refill_and_alloc(pool, me, class, len);
         }
         // Large path: best-fit from the volatile free map, else bump.
         let payload = round_up(len as u64, BLOCK_ALIGN);
@@ -100,6 +170,65 @@ impl Allocator {
             }
         }
         self.bump_new_block(pool, payload, len)
+    }
+
+    /// Carves up to [`REFILL_BATCH`] same-class blocks with one cursor CAS:
+    /// the first is returned allocated, the rest are parked in shard `me`
+    /// with durable `STATE_FREE` headers. All header persists plus the
+    /// cursor persist share a single fence.
+    fn refill_and_alloc(
+        &self,
+        pool: &PmemPool,
+        me: usize,
+        class: usize,
+        requested: usize,
+    ) -> Result<u64> {
+        let block = BLOCK_HEADER + SIZE_CLASSES[class] as u64;
+        let cursor = pool.atomic_u64(OFF_BUMP);
+        loop {
+            let current = cursor.load(Ordering::Acquire);
+            let limit = pool.len() as u64;
+            // Largest batch (halving from REFILL_BATCH) that still fits.
+            let mut batch = REFILL_BATCH;
+            while batch > 1 && current.checked_add(batch * block).is_none_or(|e| e > limit) {
+                batch /= 2;
+            }
+            let end = current
+                .checked_add(batch * block)
+                .ok_or(PmemError::OutOfMemory { requested })?;
+            if end > limit {
+                return Err(PmemError::OutOfMemory { requested });
+            }
+            if cursor
+                .compare_exchange_weak(current, end, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Headers first, then persist headers + cursor before handing
+            // out the payload (see module docs for the crash argument).
+            pool.write_u64(current, block);
+            pool.write_u64(current + 8, STATE_ALLOCATED);
+            pool.persist(current, BLOCK_HEADER as usize);
+            let mut extras = Vec::with_capacity(batch as usize - 1);
+            for i in 1..batch {
+                let hdr = current + i * block;
+                pool.write_u64(hdr, block);
+                pool.write_u64(hdr + 8, STATE_FREE);
+                pool.persist(hdr, BLOCK_HEADER as usize);
+                extras.push(hdr + BLOCK_HEADER);
+            }
+            pool.persist(OFF_BUMP, 8);
+            pool.fence();
+            if !extras.is_empty() {
+                // LIFO order: the next same-thread alloc reuses the newest.
+                self.shards[me].class_free[class].lock().extend(extras);
+            }
+            self.shards[me].refills.fetch_add(1, Ordering::Relaxed);
+            self.live_blocks.fetch_add(1, Ordering::Relaxed);
+            self.total_allocs.fetch_add(1, Ordering::Relaxed);
+            return Ok(current + BLOCK_HEADER);
+        }
     }
 
     fn bump_new_block(&self, pool: &PmemPool, payload: u64, requested: usize) -> Result<u64> {
@@ -139,7 +268,9 @@ impl Allocator {
         self.total_allocs.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Frees the block whose payload starts at `off`.
+    /// Frees the block whose payload starts at `off`. Class blocks return
+    /// to the freeing thread's own shard (good locality for free-then-alloc
+    /// patterns); siblings can still reach them through the steal path.
     pub fn dealloc(&self, pool: &PmemPool, off: u64) {
         let header = off - BLOCK_HEADER;
         let size = pool.read_u64(header);
@@ -155,7 +286,7 @@ impl Allocator {
 
         let payload = size - BLOCK_HEADER;
         match SIZE_CLASSES.iter().position(|&c| c as u64 == payload) {
-            Some(class) => self.class_free[class].lock().push(off),
+            Some(class) => self.shards[shard_id()].class_free[class].lock().push(off),
             None => self.large_free.lock().entry(size).or_default().push(off),
         }
         self.live_blocks.fetch_sub(1, Ordering::Relaxed);
@@ -163,11 +294,14 @@ impl Allocator {
     }
 
     /// Walks the heap after reopen, repopulating free lists and fixing a
-    /// torn bump cursor (crash between reserve and header persist).
+    /// torn bump cursor (crash between reserve and header persist). Freed
+    /// class blocks are redistributed round-robin across shards so every
+    /// arena restarts warm.
     pub fn rebuild_from_heap(&self, pool: &PmemPool) {
         let bump = pool.read_u64(OFF_BUMP).clamp(HEAP_START, pool.len() as u64);
         let mut cursor = HEAP_START;
         let mut live = 0u64;
+        let mut next_shard = 0usize;
         while cursor < bump {
             let size = pool.read_u64(cursor);
             let valid = size >= BLOCK_HEADER + BLOCK_ALIGN
@@ -181,7 +315,10 @@ impl Allocator {
             let payload = size - BLOCK_HEADER;
             if state == STATE_FREE {
                 match SIZE_CLASSES.iter().position(|&c| c as u64 == payload) {
-                    Some(class) => self.class_free[class].lock().push(payload_off),
+                    Some(class) => {
+                        self.shards[next_shard].class_free[class].lock().push(payload_off);
+                        next_shard = (next_shard + 1) % NUM_SHARDS;
+                    }
                     None => self.large_free.lock().entry(size).or_default().push(payload_off),
                 }
             } else {
@@ -207,6 +344,9 @@ impl Allocator {
             live_blocks: self.live_blocks.load(Ordering::Relaxed),
             total_allocs: self.total_allocs.load(Ordering::Relaxed),
             total_frees: self.total_frees.load(Ordering::Relaxed),
+            shard_hits: std::array::from_fn(|i| self.shards[i].hits.load(Ordering::Relaxed)),
+            shard_refills: std::array::from_fn(|i| self.shards[i].refills.load(Ordering::Relaxed)),
+            shard_steals: std::array::from_fn(|i| self.shards[i].steals.load(Ordering::Relaxed)),
         }
     }
 }
@@ -241,7 +381,7 @@ mod tests {
         let a = p.alloc(64).unwrap();
         p.dealloc(a);
         let b = p.alloc(60).unwrap(); // same class (64)
-        assert_eq!(a, b, "freed class block should be reused");
+        assert_eq!(a, b, "freed class block should be reused (LIFO within the shard)");
     }
 
     #[test]
@@ -271,8 +411,25 @@ mod tests {
             Err(PmemError::OutOfMemory { .. }) => {}
             other => panic!("expected OutOfMemory, got {other:?}"),
         }
-        // Small allocations still succeed afterwards.
+        // Small allocations still succeed afterwards (the refill batch
+        // shrinks to whatever fits in the remaining tail).
         assert!(p.alloc(16).is_ok());
+    }
+
+    #[test]
+    fn refill_batch_shrinks_near_heap_end() {
+        // Heap tail too small for any multi-block batch of the 4 KiB class
+        // but big enough for one block: the refill must shrink to a single
+        // block, not report OOM.
+        let p = PmemPool::create_volatile(MIN_POOL_LEN + 4096).unwrap();
+        let off = p.alloc(4096).unwrap();
+        assert!(p.block_capacity(off) >= 4096);
+        assert_eq!(p.alloc_stats().shard_refills.iter().sum::<u64>(), 1);
+        // A second 4 KiB block no longer fits; OOM must be clean.
+        match p.alloc(4096) {
+            Err(PmemError::OutOfMemory { .. }) => {}
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
     }
 
     #[test]
@@ -289,6 +446,19 @@ mod tests {
     }
 
     #[test]
+    fn stats_report_shard_traffic() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let s = p.alloc_stats();
+        assert_eq!(s.shard_refills.iter().sum::<u64>(), 1, "first alloc is a refill");
+        p.dealloc(a);
+        let _ = p.alloc(64).unwrap();
+        let s = p.alloc_stats();
+        assert_eq!(s.shard_hits.iter().sum::<u64>(), 1, "reuse hits the own shard");
+        assert_eq!(s.shard_steals.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
     fn free_lists_survive_reopen_via_heap_scan() {
         let path = std::env::temp_dir().join(format!("mvkv-alloc-scan-{}.pool", std::process::id()));
         let (freed, kept);
@@ -301,11 +471,24 @@ mod tests {
         }
         {
             let p = PmemPool::open_file(&path).unwrap();
-            // The freed block must be findable again; the kept one must not.
-            let again = p.alloc(64).unwrap();
-            assert_eq!(again, freed, "scan should repopulate the class free list");
-            let fresh = p.alloc(64).unwrap();
-            assert_ne!(fresh, kept);
+            // Every free block (the explicitly freed one plus the batch
+            // extras) must be findable again; the kept one must not. The
+            // scan redistributes across shards, and the steal path makes
+            // all of them reachable from this thread.
+            let mut seen = Vec::new();
+            loop {
+                match p.alloc(64) {
+                    Ok(off) => {
+                        assert_ne!(off, kept, "live block handed out twice");
+                        if off == freed {
+                            break;
+                        }
+                        seen.push(off);
+                    }
+                    Err(e) => panic!("freed block never resurfaced ({e}); got {seen:?}"),
+                }
+                assert!(seen.len() < 64, "freed block never resurfaced; got {seen:?}");
+            }
         }
         std::fs::remove_file(&path).unwrap();
     }
@@ -335,6 +518,94 @@ mod tests {
     }
 
     #[test]
+    fn alloc_free_churn_across_threads_stays_disjoint() {
+        // Threads continuously allocate and free, forcing shard refills,
+        // hits and cross-shard steals to interleave. At any moment the
+        // *live* set must be disjoint; at the end stats must balance.
+        let p = std::sync::Arc::new(PmemPool::create_volatile(1 << 24).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut held: Vec<u64> = Vec::new();
+                let mut kept: Vec<u64> = Vec::new();
+                for i in 0..600u64 {
+                    let len = 16 << ((t + i) % 4); // classes 16..128
+                    let off = p.alloc(len as usize).unwrap();
+                    // Stamp the payload; verified before free to catch
+                    // double-handed-out blocks.
+                    p.write_u64(off, t * 1_000_000 + i);
+                    held.push(off);
+                    if i % 3 == 0 {
+                        let victim = held.swap_remove((i as usize * 7) % held.len());
+                        p.dealloc(victim);
+                    }
+                }
+                for &off in &held {
+                    kept.push(p.read_u64(off));
+                }
+                (held, kept)
+            }));
+        }
+        let mut live: Vec<u64> = Vec::new();
+        for h in handles {
+            let (held, stamps) = h.join().unwrap();
+            for (off, stamp) in held.iter().zip(&stamps) {
+                // Stamps survive: no other thread received this block.
+                let t = stamp / 1_000_000;
+                assert!(t < 8, "stamp corrupted at {off}: {stamp}");
+            }
+            live.extend(held);
+        }
+        live.sort_unstable();
+        live.dedup();
+        let stats = p.alloc_stats();
+        assert_eq!(stats.live_blocks as usize, live.len(), "stats disagree with live set");
+        let served = stats.shard_hits.iter().sum::<u64>()
+            + stats.shard_steals.iter().sum::<u64>()
+            + stats.shard_refills.iter().sum::<u64>();
+        assert_eq!(served, stats.total_allocs, "every class alloc is a hit, steal or refill");
+    }
+
+    #[test]
+    fn exhausted_shard_steals_from_siblings() {
+        // One thread frees into its shard, another (pinned to a different
+        // shard by the round-robin id) must find those blocks via the steal
+        // path rather than bumping fresh heap.
+        let p = std::sync::Arc::new(pool());
+        let freed: Vec<u64> = {
+            let p = p.clone();
+            std::thread::spawn(move || {
+                let offs: Vec<u64> = (0..REFILL_BATCH).map(|_| p.alloc(64).unwrap()).collect();
+                for &o in &offs {
+                    p.dealloc(o);
+                }
+                offs
+            })
+            .join()
+            .unwrap()
+        };
+        let heap_before = p.alloc_stats().heap_used;
+        // Drain every freed block from fresh threads (distinct shards).
+        let mut recovered = Vec::new();
+        for _ in 0..freed.len() {
+            let p = p.clone();
+            recovered.push(std::thread::spawn(move || p.alloc(64).unwrap()).join().unwrap());
+        }
+        recovered.sort_unstable();
+        let mut expected = freed.clone();
+        expected.sort_unstable();
+        assert_eq!(recovered, expected, "steal path must drain sibling shards before bumping");
+        assert_eq!(p.alloc_stats().heap_used, heap_before, "no fresh heap should be consumed");
+        let s = p.alloc_stats();
+        assert!(
+            s.shard_steals.iter().sum::<u64>() + s.shard_hits.iter().sum::<u64>()
+                >= freed.len() as u64,
+            "recoveries must be hits or steals: {s:?}"
+        );
+    }
+
+    #[test]
     fn torn_bump_cursor_is_repaired_on_open() {
         let p = pool();
         let _ = p.alloc(64).unwrap();
@@ -347,5 +618,25 @@ mod tests {
         assert_eq!(reopened.read_u64(OFF_BUMP), bump, "cursor re-based at torn tail");
         // And allocation continues to work.
         assert!(reopened.alloc(64).is_ok());
+    }
+
+    #[test]
+    fn rebuild_redistributes_free_blocks_across_shards() {
+        let p = pool();
+        let offs: Vec<u64> = (0..16).map(|_| p.alloc(64).unwrap()).collect();
+        for &o in &offs {
+            p.dealloc(o);
+        }
+        let image = unsafe { p.bytes(0, p.len()).to_vec() };
+        let reopened = PmemPool::open_image(&image).unwrap();
+        // All 16 blocks were freed before the snapshot; after the rebuild
+        // every one must be reachable again without consuming fresh heap.
+        let heap_before = reopened.alloc_stats().heap_used;
+        let mut recovered: Vec<u64> = (0..16).map(|_| reopened.alloc(64).unwrap()).collect();
+        recovered.sort_unstable();
+        let mut expected = offs.clone();
+        expected.sort_unstable();
+        assert_eq!(recovered, expected);
+        assert_eq!(reopened.alloc_stats().heap_used, heap_before);
     }
 }

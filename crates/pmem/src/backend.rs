@@ -224,6 +224,9 @@ pub struct CrashSim {
     rng_state: AtomicU64,
     /// Serializes shadow writes (the copy loop itself is atomic-per-word).
     shadow_lock: Mutex<()>,
+    /// Lifetime count of `fence` calls — lets tests assert on the ordering
+    /// cost of an algorithm (e.g. fences per append).
+    fences: AtomicU64,
 }
 
 impl CrashSim {
@@ -235,7 +238,13 @@ impl CrashSim {
             options,
             rng_state: AtomicU64::new(options.seed | 1),
             shadow_lock: Mutex::new(()),
+            fences: AtomicU64::new(0),
         }
+    }
+
+    /// Number of `fence` calls issued against this backend so far.
+    pub fn fence_count(&self) -> u64 {
+        self.fences.load(Ordering::Relaxed)
     }
 
     fn next_rand(&self) -> u64 {
@@ -313,6 +322,11 @@ impl Backend for CrashSim {
                 self.propagate(victim, victim + CACHE_LINE);
             }
         }
+    }
+
+    fn fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
     }
 
     fn sync_all(&self) {
@@ -411,6 +425,17 @@ mod tests {
         unsafe { *sim.base().add(1000) = 3 };
         sim.sync_all();
         assert_eq!(sim.crash_image()[1000], 3);
+    }
+
+    #[test]
+    fn crash_sim_counts_fences() {
+        let sim = CrashSim::new(4096, CrashOptions::default());
+        assert_eq!(sim.fence_count(), 0);
+        sim.persist(0, 8); // persists alone don't count
+        assert_eq!(sim.fence_count(), 0);
+        sim.fence();
+        sim.fence();
+        assert_eq!(sim.fence_count(), 2);
     }
 
     #[test]

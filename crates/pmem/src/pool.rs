@@ -279,6 +279,12 @@ impl PmemPool {
         self.backend.as_crash_sim().map(CrashSim::crash_image)
     }
 
+    /// On a crash-sim pool, the lifetime count of ordering fences issued;
+    /// `None` otherwise. Used by tests asserting per-operation fence cost.
+    pub fn fence_count(&self) -> Option<u64> {
+        self.backend.as_crash_sim().map(CrashSim::fence_count)
+    }
+
     /// Marks an orderly shutdown (informational; recovery never requires it).
     pub fn mark_clean_shutdown(&self) {
         self.write_u64(OFF_CLEAN_SHUTDOWN, 1);

@@ -70,8 +70,11 @@ mod tests {
         pool.dealloc(a);
         pool.dealloc(c);
         let audit = audit(&pool);
+        // One 64 B refill batch was carved for a/b: `b` stays allocated,
+        // `a` plus the BATCH-2 unused extras plus the large block are free.
+        let batch = crate::alloc::REFILL_BATCH;
         assert_eq!(audit.allocated_blocks, 1);
-        assert_eq!(audit.free_blocks, 2);
+        assert_eq!(audit.free_blocks, batch);
         assert_eq!(audit.indeterminate_blocks, 0);
         assert_eq!(audit.torn_tail_bytes, 0);
         assert_eq!(audit.allocated_bytes, 64);
@@ -129,9 +132,12 @@ mod tests {
           // reopen's heap scan conservatively keeps the block live.
         let pool = PmemPool::open_file(&path).unwrap();
         let after = audit(&pool);
+        // Three refill batches were carved (64/128/256 classes): each left
+        // BATCH-1 free extras, plus the explicitly freed `a`.
+        let batch = crate::alloc::REFILL_BATCH;
         assert_eq!(after.indeterminate_blocks, 1, "torn state survives re-mmap");
         assert_eq!(after.allocated_blocks, 1);
-        assert_eq!(after.free_blocks, 1);
+        assert_eq!(after.free_blocks, 3 * (batch - 1) + 1);
         assert_eq!(after.torn_tail_bytes, 0);
         // And the pool stays usable: new allocations land beyond the wreck.
         let d = pool.alloc(64).unwrap();

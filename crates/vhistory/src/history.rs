@@ -41,9 +41,32 @@ impl<S: Slots> History<S> {
     /// lines 1–6). Claims a slot, writes the pair, persists it, then
     /// publishes the non-zero `done` stamp. Returns the slot index.
     ///
+    /// The persist schedule is **coalesced**: the pending-counter and entry
+    /// flushes are issued unordered, a single fence separates them from the
+    /// `done` publish, and the `done` flush itself is left to ride the next
+    /// fence (an unfenced `done` at crash time just shrinks the recovered
+    /// prefix — exactly the torn-append case recovery already prunes). One
+    /// fence per append, versus the three of the naive schedule.
+    ///
     /// The caller is responsible for reporting completion to the store's
     /// `VersionClock` *after* this returns.
     pub fn append(&self, version: u64, value: u64) -> u64 {
+        let idx = self.append_prepare(version, value);
+        self.slots.publish_fence();
+        self.append_publish(idx, version);
+        idx
+    }
+
+    /// First half of the coalesced append: claims a slot, writes the entry,
+    /// and issues the pending/entry flushes with **no** ordering fence.
+    ///
+    /// Callers batching several appends invoke this per pair, then one
+    /// [`History::publish_fence`], then [`History::append_publish`] per
+    /// pair — amortizing the fence across the whole batch. Until the
+    /// publish, the slot is claimed-but-unpublished: readers and recovery
+    /// both stop at it, so a crash between prepare and publish loses only
+    /// the tail, never consistency.
+    pub fn append_prepare(&self, version: u64, value: u64) -> u64 {
         let idx = self.slots.claim();
         self.slots.persist_pending();
         let e = self.slots.entry(idx);
@@ -51,9 +74,23 @@ impl<S: Slots> History<S> {
         e.version.store(version, Ordering::Relaxed);
         e.value.store(value, Ordering::Relaxed);
         self.slots.persist_entry(idx);
+        idx
+    }
+
+    /// The single ordering fence between prepared entries and their `done`
+    /// publishes. Covers every [`History::append_prepare`] issued (by this
+    /// thread) since the previous fence.
+    pub fn publish_fence(&self) {
+        self.slots.publish_fence();
+    }
+
+    /// Second half of the coalesced append: publishes the `done` stamp of a
+    /// prepared slot. Must be ordered after the entry persists by a
+    /// [`History::publish_fence`] in between.
+    pub fn append_publish(&self, idx: u64, version: u64) {
+        let e = self.slots.entry(idx);
         e.done.store(version + 1, Ordering::Release);
         self.slots.persist_done(idx);
-        idx
     }
 
     /// Appends a tombstone — the paper's `remove` (Algorithm 1, line 7).
@@ -328,6 +365,61 @@ mod tests {
         assert_eq!(ph.find(2, 3), None);
         assert_eq!(ph.find(3, 3), Some(300));
         assert_eq!(ph.records(3).len(), 3);
+    }
+
+    #[test]
+    fn coalesced_append_costs_at_most_one_fence() {
+        use crate::pslots::PHistory;
+        let p = mvkv_pmem::PmemPool::create_crash_sim(1 << 22, mvkv_pmem::CrashOptions::default())
+            .unwrap();
+        let h = History::new(PHistory::create(&p).unwrap());
+        // Warm up past both segment allocations (segment 0 covers slots
+        // 0-1, segment 1 covers 2-5), so the measured appends hit the
+        // steady-state path with no allocator or segment-link fences.
+        for v in 1..=3u64 {
+            h.append(v, v);
+        }
+        let before = p.fence_count().expect("crash-sim backend");
+        for v in 4..=6u64 {
+            h.append(v, v * 10);
+        }
+        let after = p.fence_count().unwrap();
+        assert_eq!(after - before, 3, "steady-state append must cost exactly one fence");
+        // Batched form: N prepares share a single fence.
+        let idx7 = h.append_prepare(7, 70);
+        let idx8 = h.append_prepare(8, 80);
+        let before = p.fence_count().unwrap();
+        h.publish_fence();
+        h.append_publish(idx7, 7);
+        h.append_publish(idx8, 8);
+        assert_eq!(p.fence_count().unwrap() - before, 1, "batch publish shares one fence");
+        assert_eq!(h.find(8, 8), Some(80));
+    }
+
+    #[test]
+    fn crash_between_prepare_and_publish_loses_only_the_tail() {
+        use crate::pslots::PHistory;
+        use crate::recovery::{compute_watermark, prune_to_watermark, scan_published_prefix};
+        let p = mvkv_pmem::PmemPool::create_crash_sim(1 << 22, mvkv_pmem::CrashOptions::default())
+            .unwrap();
+        let hdr;
+        {
+            let h = History::new(PHistory::create(&p).unwrap());
+            hdr = h.slots().pptr();
+            h.append(1, 11);
+            h.append(2, 22);
+            // Prepared but never fenced or published — the crash hits here.
+            let _ = h.append_prepare(3, 33);
+        }
+        let image = p.crash_image().unwrap();
+        let rp = mvkv_pmem::PmemPool::open_image(&image).unwrap();
+        let h = History::new(PHistory::open(&rp, hdr));
+        let scan = scan_published_prefix(h.slots());
+        assert_eq!(scan.versions, vec![1, 2], "prepared-only slot must not be recovered");
+        let wm = compute_watermark([&scan].into_iter(), 0);
+        let out = prune_to_watermark(h.slots(), wm);
+        assert_eq!(out.kept, 2);
+        assert_eq!(h.find(3, wm), Some(22), "torn version 3 is invisible");
     }
 
     #[test]

@@ -188,14 +188,16 @@ impl<'p> Slots for PHistory<'p> {
         self.tail_cell()
     }
 
+    // The persist_* hooks issue flushes only; ordering is provided by the
+    // single `publish_fence` of the coalesced append schedule (History::
+    // append / append_prepare + append_publish).
+
     fn persist_entry(&self, idx: u64) {
         self.pool.persist(self.entry_off(idx), 16);
-        self.pool.fence();
     }
 
     fn persist_done(&self, idx: u64) {
         self.pool.persist(self.entry_off(idx) + 16, 8);
-        self.pool.fence();
     }
 
     fn persist_tail(&self) {
@@ -204,6 +206,10 @@ impl<'p> Slots for PHistory<'p> {
 
     fn persist_pending(&self) {
         self.pool.persist(self.hdr, 8);
+    }
+
+    fn publish_fence(&self) {
+        self.pool.fence();
     }
 }
 

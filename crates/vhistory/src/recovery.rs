@@ -74,13 +74,20 @@ pub fn prune_to_watermark(h: &PHistory<'_>, watermark: u64) -> PruneOutcome {
         keep += 1;
     }
     // Clear orphaned done stamps on slots that still have backing storage.
+    // persist_done is flush-only under the coalesced schedule, so close the
+    // batch with one explicit fence before the slots can be reused.
+    let mut cleared = false;
     for idx in keep..old_pending {
         if let Some(e) = h.try_entry(idx) {
             if e.done.load(Ordering::Acquire) != 0 {
                 e.done.store(0, Ordering::Release);
                 h.persist_done(idx);
+                cleared = true;
             }
         }
+    }
+    if cleared {
+        h.publish_fence();
     }
     h.force_counters(keep, keep);
     PruneOutcome { kept: keep, pruned: old_pending - keep }

@@ -57,6 +57,10 @@ pub trait Slots {
     fn persist_tail(&self) {}
     /// Flushes the pending counter.
     fn persist_pending(&self) {}
+    /// Ordering fence separating entry persists from the `done` publish —
+    /// the *single* fence of the coalesced append schedule. One call may
+    /// cover any number of prepared appends. No-op for ephemeral storage.
+    fn publish_fence(&self) {}
 }
 
 /// Capacity of segment `k`: 2, 4, 8, … .

@@ -85,6 +85,64 @@ fn sweep_with_changelog_enabled() {
 }
 
 #[test]
+fn images_taken_mid_insert_batch_exclude_the_torn_suffix() {
+    // `insert_batch` prepares every entry before the single publish fence,
+    // so a crash inside a batch leaves prepared-but-unpublished slots on
+    // media. Recovery must stop the watermark at the published prefix and
+    // prune everything after it — the batch is visible only as a prefix.
+    let store = PSkipList::create_crash_sim(16 << 20, CrashOptions::default()).unwrap();
+    let session = store.session();
+    for k in 1..=50u64 {
+        session.insert(k, k * 10);
+    }
+    store.wait_writes_complete();
+    let base = store.tag();
+
+    // The batch runs on another thread while crash images are captured, so
+    // each image lands at an arbitrary point inside the batch.
+    let pairs: Vec<(u64, u64)> = (1..=2000u64).map(|i| (i % 100 + 1, i)).collect();
+    let images: Vec<Vec<u8>> = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            store.session().insert_batch(&pairs);
+        });
+        let mut images = vec![store.crash_image().unwrap()];
+        while !writer.is_finished() && images.len() < 6 {
+            images.push(store.crash_image().unwrap());
+        }
+        writer.join().unwrap();
+        images
+    });
+
+    for image in images {
+        let (recovered, stats) = PSkipList::open_image(&image, 2).unwrap();
+        assert!(
+            stats.watermark >= base && stats.watermark <= base + pairs.len() as u64,
+            "watermark {} outside [{base}, {}]",
+            stats.watermark,
+            base + pairs.len() as u64
+        );
+        // Versions are handed out in batch order by the single writer, so
+        // the oracle at the watermark is the base state plus the first
+        // (watermark - base) pairs of the batch, later pairs winning.
+        let mut expect: std::collections::BTreeMap<u64, u64> =
+            (1..=50u64).map(|k| (k, k * 10)).collect();
+        for &(k, v) in &pairs[..(stats.watermark - base) as usize] {
+            expect.insert(k, v);
+        }
+        let rs = recovered.session();
+        assert_eq!(
+            rs.extract_snapshot(stats.watermark),
+            expect.into_iter().collect::<Vec<_>>(),
+            "snapshot at watermark {} must be the published batch prefix",
+            stats.watermark
+        );
+        // The torn suffix is pruned: new writes resume right after the
+        // watermark instead of colliding with half-written slots.
+        assert_eq!(rs.insert(999_999, 7), stats.watermark + 1);
+    }
+}
+
+#[test]
 fn mid_operation_images_recover_to_a_consistent_prefix() {
     // Images taken *without* waiting for writes to complete: the exact
     // watermark depends on what had persisted, but whatever it is, the
