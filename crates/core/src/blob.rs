@@ -50,7 +50,7 @@ pub struct BlobStore {
 fn write_blob(pool: &PmemPool, bytes: &[u8]) -> u64 {
     let off = pool.alloc(8 + bytes.len()).expect("pmem pool exhausted");
     pool.write_u64(off, bytes.len() as u64);
-    // Safety: freshly allocated block, exclusive access.
+    // SAFETY: freshly allocated block, exclusive access.
     unsafe { pool.write_bytes(off + 8, bytes) };
     pool.persist(off, 8 + bytes.len());
     pool.fence();
@@ -60,7 +60,7 @@ fn write_blob(pool: &PmemPool, bytes: &[u8]) -> u64 {
 /// Reads the blob at `off` from `pool`.
 fn read_blob(pool: &PmemPool, off: u64) -> Vec<u8> {
     let len = pool.read_u64(off) as usize;
-    // Safety: blobs are immutable once published.
+    // SAFETY: blobs are immutable once published.
     unsafe { pool.bytes(off + 8, len).to_vec() }
 }
 

@@ -33,7 +33,7 @@ impl ESkipList {
     }
 
     fn history(&self, payload: u64) -> &EHist {
-        // Safety: payloads are exclusively `Box<EHist>` raw pointers that
+        // SAFETY: payloads are exclusively `Box<EHist>` raw pointers that
         // live until the store is dropped.
         unsafe { &*(payload as *const EHist) }
     }
@@ -49,7 +49,7 @@ impl ESkipList {
             InsertOutcome::Lost { yours: Some(mine), .. } => {
                 // Lost the duplicate-key race: reclaim our unused history.
                 self.counters.lost_key_race();
-                // Safety: `mine` was produced by the factory above and never
+                // SAFETY: `mine` was produced by the factory above and never
                 // became reachable.
                 drop(unsafe { Box::from_raw(*mine as *mut EHist) });
             }
@@ -68,7 +68,7 @@ impl Default for ESkipList {
 impl Drop for ESkipList {
     fn drop(&mut self) {
         for (_, payload) in self.index.iter() {
-            // Safety: exclusive access in drop; each payload is a distinct Box.
+            // SAFETY: exclusive access in drop; each payload is a distinct Box.
             drop(unsafe { Box::from_raw(payload as *mut EHist) });
         }
     }

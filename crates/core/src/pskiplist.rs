@@ -589,6 +589,7 @@ impl PSkipList {
 
     /// One worker's share of an extraction: walks `[lo, hi)` and keeps the
     /// keys with `hash(key) % workers == tid`.
+    #[allow(clippy::too_many_arguments)]
     fn extract_into(
         &self,
         out: &mut Vec<Pair>,

@@ -54,7 +54,7 @@ impl<K: Ord, V> VersionedMap<K, V> {
     }
 
     fn state(&self, payload: u64) -> &KeyState<V> {
-        // Safety: payloads are exclusively leaked `Box<KeyState<V>>`
+        // SAFETY: payloads are exclusively leaked `Box<KeyState<V>>`
         // pointers owned by this map until drop.
         unsafe { &*(payload as *const KeyState<V>) }
     }
@@ -70,7 +70,7 @@ impl<K: Ord, V> VersionedMap<K, V> {
             })) as u64
         });
         if let InsertOutcome::Lost { yours: Some(mine), .. } = outcome {
-            // Safety: our state never became reachable.
+            // SAFETY: our state never became reachable.
             drop(unsafe { Box::from_raw(mine as *mut KeyState<V>) });
         }
         self.state(outcome.payload())
@@ -80,7 +80,7 @@ impl<K: Ord, V> VersionedMap<K, V> {
         if raw == TOMBSTONE {
             return None;
         }
-        // Safety: non-tombstone handles are leaked `Box<V>` pointers that
+        // SAFETY: non-tombstone handles are leaked `Box<V>` pointers that
         // live until the map drops; published via Release in the history.
         Some(unsafe { &*(raw as *const V) })
     }
@@ -179,7 +179,7 @@ impl<K: Ord, V> Default for VersionedMap<K, V> {
 impl<K, V> Drop for VersionedMap<K, V> {
     fn drop(&mut self) {
         for (_, payload) in self.index.iter() {
-            // Safety: exclusive access in drop. Reclaim every published
+            // SAFETY: exclusive access in drop. Reclaim every published
             // value handle, then the key state itself.
             let state = unsafe { Box::from_raw(payload as *mut KeyState<V>) };
             let visible = state.history.extend_tail(u64::MAX);
@@ -192,6 +192,8 @@ impl<K, V> Drop for VersionedMap<K, V> {
                     .value
                     .load(std::sync::atomic::Ordering::Acquire);
                 if raw != TOMBSTONE {
+                    // SAFETY: a non-tombstone payload is a Box leaked by
+                    // insert; drop has exclusive access, so no double-free.
                     drop(unsafe { Box::from_raw(raw as *mut V) });
                 }
             }
@@ -199,8 +201,9 @@ impl<K, V> Drop for VersionedMap<K, V> {
     }
 }
 
-// Safety: the map shares only atomics and published (immutable) boxes.
+// SAFETY: the map shares only atomics and published (immutable) boxes.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for VersionedMap<K, V> {}
+// SAFETY: same reasoning as Send — all shared access goes through atomics.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for VersionedMap<K, V> {}
 
 #[cfg(test)]

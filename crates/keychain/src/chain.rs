@@ -114,6 +114,7 @@ impl<'p> KeyChain<'p> {
         }
         let bytes = self.block_bytes();
         let off = self.pool.alloc(bytes as usize)?;
+        // SAFETY: `off` is a fresh allocation of exactly `bytes` bytes.
         unsafe { self.pool.write_bytes(off, &vec![0u8; bytes as usize]) };
         self.pool.write_u64(off + 16, index);
         self.pool.persist(off, bytes as usize);
@@ -302,6 +303,7 @@ mod tests {
                 c.append(i, i + 1000).unwrap();
             }
         }
+        // SAFETY: [0, len) is in bounds; no writer races the snapshot here.
         let image = unsafe { p.bytes(0, p.len()).to_vec() };
         let rp = PmemPool::open_image(&image).unwrap();
         let c = KeyChain::open(&rp, hdr);

@@ -15,10 +15,10 @@
 
 use crate::layout::CACHE_LINE;
 use crate::{PmemError, Result};
-use parking_lot::Mutex;
+use mvkv_sync::sync::atomic::{fence, AtomicU64, Ordering};
+use mvkv_sync::sync::Mutex;
 use std::fs::OpenOptions;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// A byte region with persistence primitives. All methods must be safe to
 /// call concurrently from many threads.
@@ -36,7 +36,7 @@ pub trait Backend: Send + Sync {
     fn persist(&self, offset: usize, len: usize);
     /// Store-ordering fence between persists (sfence analogue).
     fn fence(&self) {
-        std::sync::atomic::fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
     }
     /// Flushes everything and synchronizes with the media (close path).
     fn sync_all(&self) {}
@@ -56,13 +56,16 @@ struct AlignedRegion {
     len: usize,
 }
 
+// SAFETY: the region is an owned, fixed allocation; callers synchronize
+// access to its bytes (the pool layers atomics on top).
 unsafe impl Send for AlignedRegion {}
+// SAFETY: same as Send — raw bytes carry no thread affinity.
 unsafe impl Sync for AlignedRegion {}
 
 impl AlignedRegion {
     fn zeroed(len: usize) -> Self {
         let layout = std::alloc::Layout::from_size_align(len, 4096).expect("valid layout");
-        // Safety: layout has non-zero size (callers validate len > 0).
+        // SAFETY: layout has non-zero size (callers validate len > 0).
         let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
         assert!(!ptr.is_null(), "allocation of {len} bytes failed");
         AlignedRegion { ptr, len }
@@ -70,7 +73,7 @@ impl AlignedRegion {
 
     fn from_bytes(bytes: &[u8]) -> Self {
         let region = Self::zeroed(bytes.len());
-        // Safety: freshly allocated, exclusive access.
+        // SAFETY: freshly allocated, exclusive access.
         unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), region.ptr, bytes.len()) };
         region
     }
@@ -79,7 +82,7 @@ impl AlignedRegion {
 impl Drop for AlignedRegion {
     fn drop(&mut self) {
         let layout = std::alloc::Layout::from_size_align(self.len, 4096).expect("valid layout");
-        // Safety: allocated with the identical layout in `zeroed`.
+        // SAFETY: allocated with the identical layout in `zeroed`.
         unsafe { std::alloc::dealloc(self.ptr, layout) };
     }
 }
@@ -110,7 +113,7 @@ impl FileBacked {
             .truncate(true)
             .open(path)?;
         file.set_len(len as u64)?;
-        // Safety: we own the file; len matches set_len.
+        // SAFETY: we own the file; len matches set_len.
         let map = unsafe { memmap2::MmapMut::map_mut(&file)? };
         Ok(FileBacked { map, durable_flush: false })
     }
@@ -122,7 +125,7 @@ impl FileBacked {
         if meta.len() == 0 {
             return Err(PmemError::BadMagic);
         }
-        // Safety: mapping length tracks the file length.
+        // SAFETY: mapping length tracks the file length.
         let map = unsafe { memmap2::MmapMut::map_mut(&file)? };
         Ok(FileBacked { map, durable_flush: false })
     }
@@ -151,7 +154,7 @@ impl Backend for FileBacked {
             let _ = self.map.flush_async_range(start, end - start);
         } else {
             // tmpfs / DAX: stores are durable once globally visible.
-            std::sync::atomic::fence(Ordering::Release);
+            fence(Ordering::Release);
         }
     }
 
@@ -243,6 +246,7 @@ impl CrashSim {
     }
 
     /// Number of `fence` calls issued against this backend so far.
+    /// (Relaxed: a monitoring counter, never synchronized against.)
     pub fn fence_count(&self) -> u64 {
         self.fences.load(Ordering::Relaxed)
     }
@@ -266,7 +270,7 @@ impl CrashSim {
         let _guard = self.shadow_lock.lock();
         let mut off = start;
         while off < end {
-            // Safety: offsets are in-bounds and 8-aligned; both regions are
+            // SAFETY: offsets are in-bounds and 8-aligned; both regions are
             // page-aligned allocations of identical length.
             unsafe {
                 let src = &*(self.front.ptr.add(off) as *const AtomicU64);
@@ -282,7 +286,7 @@ impl CrashSim {
         let _guard = self.shadow_lock.lock();
         let mut out = vec![0u8; self.shadow.len];
         for off in (0..self.shadow.len).step_by(8) {
-            // Safety: in-bounds, aligned.
+            // SAFETY: in-bounds, aligned.
             let word = unsafe {
                 (*(self.shadow.ptr.add(off) as *const AtomicU64)).load(Ordering::Acquire)
             };
@@ -326,7 +330,7 @@ impl Backend for CrashSim {
 
     fn fence(&self) {
         self.fences.fetch_add(1, Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
     }
 
     fn sync_all(&self) {
@@ -338,12 +342,6 @@ impl Backend for CrashSim {
     }
 }
 
-// AtomicU8 is unused but kept imported via a type assertion to document the
-// byte-level atomicity assumption of `propagate`.
-const _: fn() = || {
-    let _ = std::mem::size_of::<AtomicU8>();
-};
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,7 +350,7 @@ mod tests {
     fn volatile_is_zeroed_and_writable() {
         let v = Volatile::new(8192);
         assert_eq!(v.len(), 8192);
-        // Safety: exclusive access in test.
+        // SAFETY: exclusive access in test.
         unsafe {
             assert_eq!(*v.base(), 0);
             *v.base().add(100) = 42;
@@ -364,6 +362,7 @@ mod tests {
     fn volatile_from_bytes_roundtrip() {
         let data: Vec<u8> = (0..255u8).collect();
         let v = Volatile::from_bytes(&data);
+        // SAFETY: base()..base()+len() is the region's own mapping.
         let view = unsafe { std::slice::from_raw_parts(v.base(), v.len()) };
         assert_eq!(view, &data[..]);
     }
@@ -373,6 +372,7 @@ mod tests {
         let path = std::env::temp_dir().join(format!("mvkv-backend-{}.pool", std::process::id()));
         {
             let f = FileBacked::create(&path, 16384).unwrap();
+            // SAFETY: 5000 < 16384, inside the freshly created mapping.
             unsafe { *f.base().add(5000) = 0xAB };
             f.persist(5000, 1);
             f.sync_all();
@@ -380,6 +380,7 @@ mod tests {
         {
             let f = FileBacked::open(&path).unwrap();
             assert_eq!(f.len(), 16384);
+            // SAFETY: 5000 < 16384, inside the reopened mapping.
             unsafe { assert_eq!(*f.base().add(5000), 0xAB) };
         }
         std::fs::remove_file(&path).unwrap();
@@ -394,6 +395,7 @@ mod tests {
     #[test]
     fn crash_sim_drops_unpersisted_writes() {
         let sim = CrashSim::new(4096, CrashOptions::default());
+        // SAFETY: both offsets are < 4096, inside the simulated region.
         unsafe {
             *sim.base().add(0) = 1; // persisted below
             *sim.base().add(256) = 2; // never persisted
@@ -407,6 +409,7 @@ mod tests {
     #[test]
     fn crash_sim_persist_is_cache_line_granular() {
         let sim = CrashSim::new(4096, CrashOptions::default());
+        // SAFETY: all offsets are < 4096, inside the simulated region.
         unsafe {
             *sim.base().add(64) = 7;
             *sim.base().add(127) = 9; // same cache line as 64..128
@@ -422,6 +425,7 @@ mod tests {
     #[test]
     fn crash_sim_sync_all_flushes_everything() {
         let sim = CrashSim::new(4096, CrashOptions::default());
+        // SAFETY: 1000 < 4096, inside the simulated region.
         unsafe { *sim.base().add(1000) = 3 };
         sim.sync_all();
         assert_eq!(sim.crash_image()[1000], 3);
@@ -443,6 +447,7 @@ mod tests {
         let run = |seed| {
             let sim = CrashSim::new(8192, CrashOptions { eviction_rate: 0.9, seed });
             for i in 0..16usize {
+                // SAFETY: 15 * 320 < 8192, inside the simulated region.
                 unsafe { *sim.base().add(i * 320) = i as u8 + 1 };
             }
             // Persist only line 0; evictions may pull others in.

@@ -3,8 +3,9 @@
 use crate::backend::{Backend, CrashOptions, CrashSim, FileBacked, Volatile};
 use crate::layout::*;
 use crate::{alloc::Allocator, PmemError, Result};
+use mvkv_sync::sync::atomic::{AtomicU64, Ordering};
+use mvkv_sync::sync::Mutex;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-size pool of (emulated) persistent memory.
 ///
@@ -30,7 +31,7 @@ pub struct PmemPool {
     backend: Box<dyn Backend>,
     allocator: Allocator,
     /// Serializes undo-log transactions (see [`crate::txn`]).
-    txn_lock: parking_lot::Mutex<()>,
+    txn_lock: Mutex<()>,
 }
 
 impl PmemPool {
@@ -76,7 +77,7 @@ impl PmemPool {
         let pool = PmemPool {
             backend,
             allocator: Allocator::new(),
-            txn_lock: parking_lot::Mutex::new(()),
+            txn_lock: Mutex::new(()),
         };
         pool.write_u64(OFF_POOL_LEN, len as u64);
         pool.write_u64(OFF_ROOT, 0);
@@ -102,7 +103,7 @@ impl PmemPool {
         let pool = PmemPool {
             backend,
             allocator: Allocator::new(),
-            txn_lock: parking_lot::Mutex::new(()),
+            txn_lock: Mutex::new(()),
         };
         if pool.read_u64(OFF_MAGIC) != MAGIC {
             return Err(PmemError::BadMagic);
@@ -197,7 +198,7 @@ impl PmemPool {
     pub fn atomic_u64(&self, off: u64) -> &AtomicU64 {
         debug_assert_eq!(off % 8, 0, "atomic access must be 8-aligned");
         debug_assert!(off as usize + 8 <= self.backend.len());
-        // Safety: in-bounds, aligned; AtomicU64 has no invalid bit patterns;
+        // SAFETY: in-bounds, aligned; AtomicU64 has no invalid bit patterns;
         // the backing region lives as long as `self`.
         unsafe { &*(self.backend.base().add(off as usize) as *const AtomicU64) }
     }
@@ -224,7 +225,9 @@ impl PmemPool {
             (off as usize).checked_add(len).is_some_and(|end| end <= self.backend.len()),
             "bytes({off}, {len}) out of bounds"
         );
-        std::slice::from_raw_parts(self.backend.base().add(off as usize), len)
+        // SAFETY: range bounds-checked above; immutability is the
+        // caller's contract (see # Safety).
+        unsafe { std::slice::from_raw_parts(self.backend.base().add(off as usize), len) }
     }
 
     /// Copies `data` into the pool at `off` (not persisted).
@@ -237,7 +240,15 @@ impl PmemPool {
             "write_bytes({off}, {}) out of bounds",
             data.len()
         );
-        std::ptr::copy_nonoverlapping(data.as_ptr(), self.backend.base().add(off as usize), data.len());
+        // SAFETY: range bounds-checked above; exclusive access is the
+        // caller's contract (see # Safety).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                self.backend.base().add(off as usize),
+                data.len(),
+            )
+        };
     }
 
     /// Typed reference to a `T` at `off`.
@@ -251,19 +262,21 @@ impl PmemPool {
     pub unsafe fn typed<T>(&self, off: u64) -> &T {
         debug_assert_eq!(off as usize % std::mem::align_of::<T>(), 0);
         debug_assert!(off as usize + std::mem::size_of::<T>() <= self.backend.len());
-        &*(self.backend.base().add(off as usize) as *const T)
+        // SAFETY: alignment/bounds debug-checked above; initialization
+        // and aliasing are the caller's contract (see # Safety).
+        unsafe { &*(self.backend.base().add(off as usize) as *const T) }
     }
 
     /// Raw pointer to `off` — escape hatch for interior-atomic structs.
     #[inline]
     pub fn base_ptr(&self, off: u64) -> *mut u8 {
         debug_assert!((off as usize) < self.backend.len());
-        // Safety of the add: bounds asserted above.
+        // SAFETY: the add stays in bounds, asserted above.
         unsafe { self.backend.base().add(off as usize) }
     }
 
     /// The transaction serialization lock (used by [`crate::txn`]).
-    pub(crate) fn txn_lock(&self) -> &parking_lot::Mutex<()> {
+    pub(crate) fn txn_lock(&self) -> &Mutex<()> {
         &self.txn_lock
     }
 
@@ -376,6 +389,7 @@ mod tests {
     fn open_wrong_version_is_rejected() {
         let pool = PmemPool::create_volatile(MIN_POOL_LEN).unwrap();
         pool.write_u64(OFF_VERSION, 999);
+        // SAFETY: [0, len) is in bounds; no writer races the snapshot.
         let bytes = unsafe { pool.bytes(0, pool.len()).to_vec() };
         match PmemPool::open_image(&bytes) {
             Err(PmemError::BadLayoutVersion { found: 999, .. }) => {}
@@ -435,7 +449,10 @@ mod tests {
         let pool = PmemPool::create_volatile(1 << 20).unwrap();
         let off = pool.alloc(256).unwrap();
         let payload: Vec<u8> = (0..=255u8).collect();
+        // SAFETY: `off` is a fresh 256-byte allocation; the read view
+        // covers the same block with no concurrent writer.
         unsafe { pool.write_bytes(off, &payload) };
+        // SAFETY: same block, still no concurrent writer.
         let view = unsafe { pool.bytes(off, 256) };
         assert_eq!(view, &payload[..]);
     }
@@ -444,6 +461,7 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn bytes_out_of_bounds_panics() {
         let pool = PmemPool::create_volatile(MIN_POOL_LEN).unwrap();
+        // SAFETY: deliberately out of bounds — the call must panic.
         let _ = unsafe { pool.bytes(MIN_POOL_LEN as u64 - 4, 16) };
     }
 }

@@ -46,7 +46,9 @@ impl<T> PPtr<T> {
     #[inline]
     pub unsafe fn as_ref(self, pool: &PmemPool) -> &T {
         debug_assert!(!self.is_null(), "dereferencing null PPtr");
-        pool.typed::<T>(self.off)
+        // SAFETY: forwarded contract — the caller upholds `typed`'s
+        // initialization, alignment and aliasing requirements.
+        unsafe { pool.typed::<T>(self.off) }
     }
 
     /// Resolves to a raw pointer (for interior-atomic initialization).
@@ -119,6 +121,7 @@ mod tests {
         let off = pool.alloc(8).unwrap();
         pool.write_u64(off, 424242);
         let p: PPtr<u64> = PPtr::from_off(off);
+        // SAFETY: `off` holds an initialized u64 written just above.
         assert_eq!(unsafe { *p.as_ref(&pool) }, 424242);
     }
 
@@ -139,11 +142,15 @@ mod tests {
         let b = pool.alloc(8).unwrap();
         pool.write_u64(a, b); // a stores a "pointer" to b
         pool.write_u64(b, 7);
+        // SAFETY: [0, len) is in bounds; no writer races the snapshot.
         let image = unsafe { pool.bytes(0, pool.len()).to_vec() };
 
         let reopened = PmemPool::open_image(&image).unwrap();
         let pa: PPtr<u64> = PPtr::from_off(a);
+        // SAFETY: offsets `a` and `b` hold initialized u64s persisted
+        // before the snapshot; the image preserves them.
         let pb: PPtr<u64> = PPtr::from_off(unsafe { *pa.as_ref(&reopened) });
+        // SAFETY: `b` likewise holds an initialized, persisted u64.
         assert_eq!(unsafe { *pb.as_ref(&reopened) }, 7);
     }
 

@@ -18,7 +18,7 @@
 use crate::layout::OFF_TXN_LOG;
 use crate::pool::PmemPool;
 use crate::{PmemError, Result};
-use parking_lot::MutexGuard;
+use mvkv_sync::sync::MutexGuard;
 
 /// Capacity of the persistent undo log in bytes.
 pub const TXN_LOG_CAPACITY: usize = 64 << 10;
@@ -75,7 +75,7 @@ impl<'p> Txn<'p> {
         let rec = self.log + LOG_HDR + self.cursor;
         self.pool.write_u64(rec, off);
         self.pool.write_u64(rec + 8, len as u64);
-        // Safety: the undo area is exclusively ours under the txn lock.
+        // SAFETY: the undo area is exclusively ours under the txn lock.
         unsafe {
             let old = self.pool.bytes(off, len).to_vec();
             self.pool.write_bytes(rec + 16, &old);
@@ -103,7 +103,7 @@ impl<'p> Txn<'p> {
     /// Transactionally overwrites `[off, off+data.len())`.
     pub fn write_bytes(&mut self, off: u64, data: &[u8]) -> Result<()> {
         self.log_old(off, data.len())?;
-        // Safety: range validity checked by write_bytes itself; exclusive
+        // SAFETY: range validity checked by write_bytes itself; exclusive
         // access is the caller's responsibility, as with PmemPool writes.
         unsafe { self.pool.write_bytes(off, data) };
         self.pool.persist(off, data.len());
@@ -151,7 +151,7 @@ fn rollback_log(pool: &PmemPool, log: u64) {
     for &rec in offsets.iter().rev() {
         let target = pool.read_u64(rec);
         let len = pool.read_u64(rec + 8) as usize;
-        // Safety: targets were valid when logged; the pool layout is stable.
+        // SAFETY: targets were valid when logged; the pool layout is stable.
         unsafe {
             let old = pool.bytes(rec + 16, len).to_vec();
             pool.write_bytes(target, &old);
@@ -227,6 +227,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn transactions_serialize() {
         let p = std::sync::Arc::new(pool());
         let a = p.alloc(8).unwrap();

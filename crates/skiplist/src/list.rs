@@ -1,6 +1,6 @@
 //! The skip-list implementation. See crate docs for the protocol overview.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use mvkv_sync::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Maximum tower height. With p = 1/2 this comfortably indexes 2^20+ keys
 /// at the paper's scale (10^6–2·10^6 keys per node).
@@ -67,9 +67,10 @@ pub struct SkipList<K> {
     height_seed: AtomicU64,
 }
 
-// Safety: nodes are immutable after publication except their atomic fields;
+// SAFETY: nodes are immutable after publication except their atomic fields;
 // all links are atomic pointers.
 unsafe impl<K: Send> Send for SkipList<K> {}
+// SAFETY: same reasoning as Send — shared mutation is atomics-only.
 unsafe impl<K: Send + Sync> Sync for SkipList<K> {}
 
 impl<K: Ord> SkipList<K> {
@@ -92,6 +93,7 @@ impl<K: Ord> SkipList<K> {
     }
 
     /// Geometric tower height (p = 1/2), deterministic given insert order.
+    /// (The seed is Relaxed: only atomicity matters, not ordering.)
     fn random_height(&self) -> usize {
         let x = self.height_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         let mut z = x;
@@ -108,7 +110,7 @@ impl<K: Ord> SkipList<K> {
         if pred.is_null() {
             &self.head[level]
         } else {
-            // Safety: pred was observed via an Acquire load and is never freed
+            // SAFETY: pred was observed via an Acquire load and is never freed
             // while the list lives (insert-only).
             unsafe { &(*pred).next[level] }
         }
@@ -128,7 +130,7 @@ impl<K: Ord> SkipList<K> {
         let mut level = top - 1;
         loop {
             let mut curr = self.cell(pred, level).load(Ordering::Acquire);
-            // Safety: nodes are never freed while the list lives.
+            // SAFETY: nodes are never freed while the list lives.
             while !curr.is_null() && unsafe { &(*curr).key } < key {
                 pred = curr;
                 curr = self.cell(pred, level).load(Ordering::Acquire);
@@ -136,8 +138,9 @@ impl<K: Ord> SkipList<K> {
             preds[level] = pred;
             succs[level] = curr;
             if level == 0 {
-                let found =
-                    !curr.is_null() && unsafe { &(*curr).key } == key;
+                // SAFETY: curr is non-null and was read from a live link;
+                // nodes are never freed while the list is alive.
+                let found = !curr.is_null() && unsafe { &(*curr).key } == key;
                 return if found { curr } else { std::ptr::null_mut() };
             }
             level -= 1;
@@ -152,7 +155,7 @@ impl<K: Ord> SkipList<K> {
         if node.is_null() {
             None
         } else {
-            // Safety: found nodes stay alive with the list.
+            // SAFETY: found nodes stay alive with the list.
             Some(unsafe { (*node).value.load(Ordering::Acquire) })
         }
     }
@@ -167,7 +170,7 @@ impl<K: Ord> SkipList<K> {
 
         let existing = self.find(&key, &mut preds, &mut succs);
         if !existing.is_null() {
-            // Safety: node outlives the call.
+            // SAFETY: node outlives the call.
             let value = unsafe { (*existing).value.load(Ordering::Acquire) };
             return InsertOutcome::Lost { existing: value, yours: None };
         }
@@ -193,7 +196,7 @@ impl<K: Ord> SkipList<K> {
         // Level-0 CAS is the linearization point; retry on any interference.
         loop {
             for (level, succ) in succs.iter().enumerate().take(height) {
-                // Safety: node is still private to this thread.
+                // SAFETY: node is still private to this thread.
                 unsafe { (*node).next[level].store(*succ, Ordering::Relaxed) };
             }
             let cell0 = self.cell(preds[0], 0);
@@ -201,12 +204,14 @@ impl<K: Ord> SkipList<K> {
                 Ok(_) => break,
                 Err(_) => {
                     // Something changed next to us: re-scan.
+                    // SAFETY: node is still exclusively ours (CAS failed).
                     let winner = self.find(unsafe { &(*node).key }, &mut preds, &mut succs);
                     if !winner.is_null() {
                         // Duplicate-key race lost: free our unpublished node,
                         // surface our payload for cleanup, adopt the winner's.
+                        // SAFETY: winner is a published, never-freed node.
                         let existing = unsafe { (*winner).value.load(Ordering::Acquire) };
-                        // Safety: node never became reachable.
+                        // SAFETY: node never became reachable.
                         drop(unsafe { Box::from_raw(node) });
                         return InsertOutcome::Lost { existing, yours: Some(value) };
                     }
@@ -221,7 +226,7 @@ impl<K: Ord> SkipList<K> {
                 if succ == node {
                     break; // already linked here by a previous iteration's re-scan
                 }
-                // Safety: node is published; next updates are atomic.
+                // SAFETY: node is published; next updates are atomic.
                 unsafe { (*node).next[level].store(succ, Ordering::Relaxed) };
                 let cell = self.cell(preds[level], level);
                 if cell
@@ -230,6 +235,7 @@ impl<K: Ord> SkipList<K> {
                 {
                     break;
                 }
+                // SAFETY: node is published and its key is immutable.
                 let _ = self.find(unsafe { &(*node).key }, &mut preds, &mut succs);
             }
         }
@@ -246,7 +252,7 @@ impl<K: Ord> SkipList<K> {
         if node.is_null() {
             return false;
         }
-        // Safety: node outlives the call.
+        // SAFETY: node outlives the call.
         unsafe { (*node).value.store(value, Ordering::Release) };
         true
     }
@@ -278,7 +284,7 @@ impl<K> Drop for SkipList<K> {
     fn drop(&mut self) {
         let mut curr = self.head[0].load(Ordering::Acquire);
         while !curr.is_null() {
-            // Safety: exclusive access in drop; every published node is
+            // SAFETY: exclusive access in drop; every published node is
             // reachable at level 0 exactly once.
             let node = unsafe { Box::from_raw(curr) };
             curr = node.next[0].load(Ordering::Acquire);
@@ -299,7 +305,7 @@ impl<'a, K> Iterator for Iter<'a, K> {
         if self.curr.is_null() {
             return None;
         }
-        // Safety: nodes live as long as the list borrow `'a`.
+        // SAFETY: nodes live as long as the list borrow `'a`.
         let node = unsafe { &*self.curr };
         self.curr = node.next[0].load(Ordering::Acquire);
         let _ = self.list;
@@ -383,6 +389,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn agrees_with_btreemap_model() {
         let l = SkipList::new();
         let mut model = BTreeMap::new();
@@ -407,6 +414,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn concurrent_disjoint_inserts() {
         let l = Arc::new(SkipList::new());
         let threads = 8u64;
@@ -441,6 +449,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn concurrent_same_key_races_have_one_winner() {
         for _round in 0..20 {
             let l = Arc::new(SkipList::new());
@@ -476,6 +485,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn large_sequential_insert_is_searchable() {
         let l = SkipList::new();
         for k in 0..50_000u64 {

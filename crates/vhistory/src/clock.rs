@@ -15,7 +15,7 @@
 //! (spins) when more than `window` operations are in flight, bounding the
 //! ring.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mvkv_sync::sync::atomic::{AtomicU64, Ordering};
 
 /// Default in-flight window (power of two).
 pub const DEFAULT_WINDOW: usize = 1 << 16;
@@ -60,10 +60,11 @@ impl VersionClock {
     /// window is exhausted, providing back-pressure against stalled writers.
     pub fn issue(&self) -> u64 {
         loop {
+            // Relaxed read is a hint only; the AcqRel CAS below validates.
             let issued = self.issued.load(Ordering::Relaxed);
             if issued.wrapping_sub(self.fc.load(Ordering::Acquire)) >= self.mask {
-                std::hint::spin_loop();
-                std::thread::yield_now();
+                mvkv_sync::hint::spin_loop();
+                mvkv_sync::thread::yield_now();
                 continue;
             }
             if self
@@ -116,8 +117,8 @@ impl VersionClock {
     /// synchronize threads.
     pub fn wait_all_complete(&self) {
         while self.watermark() != self.issued() {
-            std::hint::spin_loop();
-            std::thread::yield_now();
+            mvkv_sync::hint::spin_loop();
+            mvkv_sync::thread::yield_now();
         }
     }
 }
@@ -178,6 +179,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn concurrent_issue_complete_is_gapless() {
         let clock = Arc::new(VersionClock::with_window(256));
         let threads = 8;
@@ -213,6 +215,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn wait_all_complete_with_threads() {
         let clock = Arc::new(VersionClock::new());
         let c2 = clock.clone();

@@ -2,7 +2,7 @@
 //! (ESkipList, LockedMap).
 
 use crate::slots::{locate, seg_capacity, Entry, Slots};
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use mvkv_sync::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 struct ESeg {
     entries: Box<[Entry]>,
@@ -57,13 +57,13 @@ impl EHistory {
                 ) {
                     Ok(_) => ptr = fresh,
                     Err(winner) => {
-                        // Safety: fresh was never shared.
+                        // SAFETY: fresh was never shared.
                         drop(unsafe { Box::from_raw(fresh) });
                         ptr = winner;
                     }
                 }
             }
-            // Safety: segments are never freed while the history lives.
+            // SAFETY: segments are never freed while the history lives.
             let seg = unsafe { &*ptr };
             if level == k {
                 return seg;
@@ -84,15 +84,16 @@ impl Drop for EHistory {
     fn drop(&mut self) {
         let mut ptr = self.head.load(Ordering::Acquire);
         while !ptr.is_null() {
-            // Safety: exclusive access in drop; chain nodes are uniquely owned.
+            // SAFETY: exclusive access in drop; chain nodes are uniquely owned.
             let seg = unsafe { Box::from_raw(ptr) };
             ptr = seg.next.load(Ordering::Acquire);
         }
     }
 }
 
-// Safety: all shared state is atomic; segments are immutable once linked.
+// SAFETY: all shared state is atomic; segments are immutable once linked.
 unsafe impl Send for EHistory {}
+// SAFETY: same reasoning as Send — segments are append-only and atomic.
 unsafe impl Sync for EHistory {}
 
 impl Slots for EHistory {
@@ -147,6 +148,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn concurrent_claims_are_unique_and_usable() {
         let h = Arc::new(EHistory::new());
         let handles: Vec<_> = (0..8)
@@ -173,6 +175,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn drop_frees_long_chains_without_leak_or_crash() {
         let h = EHistory::new();
         for _ in 0..100_000 {

@@ -17,7 +17,7 @@
 
 use crate::slots::{locate, seg_base, seg_capacity, Entry, Slots, ENTRY_SIZE};
 use mvkv_pmem::{PPtr, PmemPool, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
+use mvkv_sync::sync::atomic::{AtomicU64, Ordering};
 
 /// Size of the persistent history header.
 pub const HISTORY_HDR_SIZE: usize = 32;
@@ -102,6 +102,7 @@ impl<'p> PHistory<'p> {
         let off = self.pool.alloc(bytes as usize)?;
         // Recycled blocks may hold stale data; `done` words MUST read 0
         // before the segment is linked, so clear everything.
+        // SAFETY: `off` is a fresh allocation of exactly `bytes` bytes.
         unsafe { self.pool.write_bytes(off, &vec![0u8; bytes as usize]) };
         self.pool.write_u64(off + 8, cap);
         self.pool.write_u64(off + 16, seg_base(k));
@@ -143,7 +144,7 @@ impl<'p> PHistory<'p> {
             link_off = seg;
         }
         let off = seg + SEG_HDR_SIZE + pos * ENTRY_SIZE as u64;
-        // Safety: in-bounds, aligned, all-atomic Entry.
+        // SAFETY: in-bounds, aligned, all-atomic Entry.
         Some(unsafe { self.pool.typed::<Entry>(off) })
     }
 
@@ -179,7 +180,7 @@ impl<'p> Slots for PHistory<'p> {
     }
 
     fn entry(&self, idx: u64) -> &Entry {
-        // Safety: entry_off is in-bounds, 8-aligned, and Entry is all-atomic
+        // SAFETY: entry_off is in-bounds, 8-aligned, and Entry is all-atomic
         // words with no invalid bit patterns.
         unsafe { self.pool.typed::<Entry>(self.entry_off(idx)) }
     }
@@ -270,6 +271,7 @@ mod tests {
                 h.persist_done(idx);
             }
         }
+        // SAFETY: [0, len) is in bounds; no writer races the snapshot.
         let image = unsafe { p.bytes(0, p.len()).to_vec() };
         let reopened = PmemPool::open_image(&image).unwrap();
         let h = PHistory::open(&reopened, hdr);
@@ -280,6 +282,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn concurrent_claims_unique() {
         let p = std::sync::Arc::new(pool());
         let h = PHistory::create(&p).unwrap();

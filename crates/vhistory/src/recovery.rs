@@ -16,7 +16,7 @@
 
 use crate::pslots::PHistory;
 use crate::slots::Slots;
-use std::sync::atomic::Ordering;
+use mvkv_sync::sync::atomic::Ordering;
 
 /// Result of scanning one history's durable prefix.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -6,7 +6,7 @@
 //! and in-segment position of any slot follow from the slot index alone —
 //! random access never needs per-segment bookkeeping.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mvkv_sync::sync::atomic::{AtomicU64, Ordering};
 
 /// Size of one slot entry in bytes (three u64 words).
 pub const ENTRY_SIZE: usize = 24;
@@ -88,6 +88,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn geometry_is_consistent() {
         let mut expected_seg = 0u32;
         let mut consumed = 0u64;

@@ -1,0 +1,223 @@
+//! Bounded model checking of the version-history append/read protocol
+//! (Algorithm 1) and of the coalesced persist schedule.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p mvkv-vhistory --release`
+//!
+//! Three groups of models:
+//!
+//! 1. Lazy-tail: the REAL `History<EHistory>` with a writer appending while
+//!    a reader extends the tail — the watermark rule must hold on every
+//!    interleaving.
+//! 2. Segment chain: concurrent `claim`s racing the segment-allocation CAS.
+//! 3. Persist-schedule regression (PR-2's one-fence-per-append coalescing):
+//!    a `TrackedSlots` wrapper checks, on the reader side, that no published
+//!    (`done != 0`) entry is ever observed whose payload flush was skipped
+//!    or not fence-ordered before the publish.
+
+#![cfg(loom)]
+
+use mvkv_sync::sync::Arc;
+use mvkv_sync::{model, thread};
+use mvkv_vhistory::{EHistory, Entry, History, Slots};
+use std::sync::atomic::{AtomicU8, Ordering as StdOrdering};
+
+// ---------------------------------------------------------------------------
+// 1. Lazy tail vs. versioned reads
+// ---------------------------------------------------------------------------
+
+/// Writer appends versions 1 and 2; a concurrent reader bound to watermark
+/// fc=1 must never observe version 2, on any interleaving of the entry
+/// stores, done publishes, and tail CASes.
+#[test]
+fn lazy_tail_respects_the_watermark() {
+    model(|| {
+        let h = Arc::new(History::new(EHistory::new()));
+        let h2 = h.clone();
+        let w = thread::spawn(move || {
+            h2.append(1, 10);
+            h2.append(2, 20);
+        });
+        // fc = 1: version 2 exists in the slots but is beyond the watermark.
+        match h.find_raw(2, 1) {
+            None => {}
+            Some(v) => assert_eq!(v, 10, "watermark 1 must hide version 2"),
+        }
+        w.join().unwrap();
+        assert_eq!(h.find_raw(1, 2), Some(10));
+        assert_eq!(h.find_raw(2, 2), Some(20));
+        assert_eq!(h.extend_tail(2), 2);
+    });
+}
+
+/// Two concurrent tail extenders cooperate through the CAS-max: the tail
+/// only moves forward and ends exactly at the published prefix.
+#[test]
+fn concurrent_extenders_keep_tail_monotone() {
+    model(|| {
+        let h = Arc::new(History::new(EHistory::new()));
+        h.append(1, 11);
+        h.append(2, 22);
+        let h2 = h.clone();
+        let t = thread::spawn(move || h2.extend_tail(2));
+        let a = h.extend_tail(2);
+        let b = t.join().unwrap();
+        assert!(a <= 2 && b <= 2);
+        assert_eq!(h.tail(), 2, "both extenders done: tail must be fully advanced");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 2. Segment-chain allocation race
+// ---------------------------------------------------------------------------
+
+/// Two threads claim the first two slots concurrently: both land in segment
+/// 0, so both may race the head-segment CAS; the loser must free its
+/// segment and adopt the winner's, and both entries must be usable.
+#[test]
+fn concurrent_claims_race_segment_allocation_safely() {
+    use mvkv_sync::sync::atomic::Ordering;
+    model(|| {
+        let h = Arc::new(EHistory::new());
+        let h2 = h.clone();
+        let t = thread::spawn(move || {
+            let idx = h2.claim();
+            let e = h2.entry(idx);
+            e.value.store(100 + idx, Ordering::Relaxed);
+            e.done.store(idx + 1, Ordering::Release);
+            idx
+        });
+        let mine = h.claim();
+        let e = h.entry(mine);
+        e.value.store(100 + mine, Ordering::Relaxed);
+        e.done.store(mine + 1, Ordering::Release);
+        let theirs = t.join().unwrap();
+
+        assert_ne!(mine, theirs, "slot claims must be unique");
+        assert_eq!(h.pending(), 2);
+        for idx in [mine, theirs] {
+            assert_eq!(
+                h.entry(idx).value.load(Ordering::Relaxed),
+                100 + idx,
+                "entry written through a raced segment must survive"
+            );
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 3. Persist-schedule regression for the coalesced (one-fence) append
+// ---------------------------------------------------------------------------
+
+const TRACKED_SLOTS: usize = 4;
+
+/// Durability state of one slot's payload words.
+const DIRTY: u8 = 0;
+/// `persist_entry` issued, not yet ordered by a fence.
+const FLUSHED: u8 = 1;
+/// A `publish_fence` ordered the flush: durable before any later store.
+const FENCED: u8 = 2;
+
+/// Wraps [`EHistory`] and tracks the persist schedule per slot, asserting
+/// the PR-2 coalescing invariant: a `done` publish may only happen once the
+/// slot's payload flush has been ordered by the single publish fence.
+struct TrackedSlots {
+    inner: EHistory,
+    state: [AtomicU8; TRACKED_SLOTS],
+}
+
+impl TrackedSlots {
+    fn new() -> Self {
+        TrackedSlots { inner: EHistory::new(), state: std::array::from_fn(|_| AtomicU8::new(DIRTY)) }
+    }
+
+    fn slot_state(&self, idx: u64) -> u8 {
+        self.state[idx as usize].load(StdOrdering::SeqCst)
+    }
+}
+
+impl Slots for TrackedSlots {
+    fn claim(&self) -> u64 {
+        let idx = self.inner.claim();
+        assert!((idx as usize) < TRACKED_SLOTS, "model uses at most {TRACKED_SLOTS} slots");
+        idx
+    }
+
+    fn pending(&self) -> u64 {
+        self.inner.pending()
+    }
+
+    fn entry(&self, idx: u64) -> &Entry {
+        self.inner.entry(idx)
+    }
+
+    fn tail_ref(&self) -> &mvkv_sync::sync::atomic::AtomicU64 {
+        self.inner.tail_ref()
+    }
+
+    fn persist_entry(&self, idx: u64) {
+        self.state[idx as usize].store(FLUSHED, StdOrdering::SeqCst);
+    }
+
+    fn publish_fence(&self) {
+        // The fence orders every previously issued flush; an entry that is
+        // still DIRTY stays dirty (fences don't flush).
+        for s in &self.state {
+            let _ = s.compare_exchange(FLUSHED, FENCED, StdOrdering::SeqCst, StdOrdering::SeqCst);
+        }
+    }
+
+    fn persist_done(&self, idx: u64) {
+        assert_eq!(
+            self.state[idx as usize].load(StdOrdering::SeqCst),
+            FENCED,
+            "done stamp persisted for slot {idx} before its payload flush was fence-ordered"
+        );
+    }
+}
+
+/// The coalesced batch schedule (prepare, prepare, ONE fence, publish,
+/// publish) racing a reader: on every interleaving, any entry the reader
+/// observes as published must have its payload flush fence-ordered — i.e.
+/// the single shared fence is sufficient, not just the per-append fence.
+#[test]
+fn one_fence_batch_never_publishes_unflushed_payload() {
+    use mvkv_sync::sync::atomic::Ordering;
+    model(|| {
+        let h = Arc::new(History::new(TrackedSlots::new()));
+        let h2 = h.clone();
+        let w = thread::spawn(move || {
+            let a = h2.append_prepare(1, 10);
+            let b = h2.append_prepare(2, 20);
+            h2.publish_fence(); // ONE fence covers both prepares
+            h2.append_publish(a, 1);
+            h2.append_publish(b, 2);
+        });
+        // Reader: every slot visible through the lazy tail must be durable.
+        let t = h.extend_tail(2);
+        for idx in 0..t {
+            let e = h.slots().entry(idx);
+            assert_ne!(e.done.load(Ordering::Acquire), 0, "tail covers published slots only");
+            assert_eq!(
+                h.slots().slot_state(idx),
+                FENCED,
+                "reader observed published slot {idx} whose payload flush was skipped"
+            );
+        }
+        w.join().unwrap();
+        assert_eq!(h.extend_tail(2), 2);
+    });
+}
+
+/// Seeded violation: publishing without the fence must be caught by the
+/// model on its very first schedule — this is the regression tripwire for
+/// anyone "optimizing away" the publish fence.
+#[test]
+#[should_panic(expected = "before its payload flush was fence-ordered")]
+fn skipping_the_publish_fence_is_detected() {
+    model(|| {
+        let h = History::new(TrackedSlots::new());
+        let idx = h.append_prepare(1, 10);
+        // BUG under test: no publish_fence() between prepare and publish.
+        h.append_publish(idx, 1);
+    });
+}

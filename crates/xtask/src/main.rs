@@ -1,0 +1,44 @@
+//! Repo automation tasks, invoked as `cargo run -p xtask -- <task>`.
+//!
+//! Currently one task: `lint`, the custom concurrency / crash-consistency
+//! lint described in DESIGN.md ("Memory-ordering and persist-ordering
+//! discipline"). It is intentionally a dumb single-pass lexer over the
+//! source tree — no rustc plumbing — so it runs in milliseconds and can
+//! gate CI without a nightly toolchain.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let violations = lint::run(&repo_root());
+            if violations.is_empty() {
+                eprintln!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}

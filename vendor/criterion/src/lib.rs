@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Provides the harness surface the workspace's micro benchmarks use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter`,
+//! `iter_batched`) with honest-but-lightweight measurement: each benchmark
+//! is warmed briefly and timed over `sample_size` batches, reporting the
+//! median ns/iter. No statistics machinery, plots, or baselines — the
+//! intent is smoke coverage and coarse regression signal, matching how CI
+//! invokes these benches with tiny sample sizes.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness state: CLI filters plus global option overrides.
+#[derive(Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+}
+
+impl Criterion {
+    /// Parses criterion-style CLI arguments: positional tokens are name
+    /// filters; the option flags CI passes are honored and everything else
+    /// is ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--sample-size" => {
+                    c.sample_size = args.next().and_then(|v| v.parse().ok());
+                }
+                "--warm-up-time" => {
+                    c.warm_up_time =
+                        args.next().and_then(|v| v.parse().ok()).map(Duration::from_secs_f64);
+                }
+                "--measurement-time" => {
+                    c.measurement_time =
+                        args.next().and_then(|v| v.parse().ok()).map(Duration::from_secs_f64);
+                }
+                "--bench" | "--test" | "--nocapture" | "--noplot" | "--quiet" => {}
+                flag if flag.starts_with("--") => {
+                    // Unknown option: skip its value if one follows and
+                    // doesn't look like another flag or a filter.
+                    // (Criterion options are all `--flag value`.)
+                    let _ = args.next();
+                }
+                filter => c.filters.push(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A named group of benchmarks with shared timing configuration.
+pub struct BenchmarkGroup<'c> {
+    harness: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        if !self.harness.matches(&id) {
+            return self;
+        }
+        let sample_size = self.harness.sample_size.unwrap_or(self.sample_size).max(2);
+        let warm = self.harness.warm_up_time.unwrap_or(self.warm_up_time);
+        let measure = self.harness.measurement_time.unwrap_or(self.measurement_time);
+
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        // Warm-up: run until the warm-up budget elapses at least once.
+        let warm_start = Instant::now();
+        loop {
+            f(&mut b);
+            if warm_start.elapsed() >= warm {
+                break;
+            }
+        }
+        // Measurement: `sample_size` samples or until the time budget runs
+        // out, whichever comes first (but always at least 2 samples).
+        let mut samples = Vec::with_capacity(sample_size);
+        let measure_start = Instant::now();
+        for i in 0..sample_size {
+            b.iters = 0;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            }
+            if i >= 1 && measure_start.elapsed() >= measure {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+        println!("{id:<50} time: {median:>12.1} ns/iter ({} samples)", samples.len());
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timing handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Batch sizing hint (accepted, not used for sizing in this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed small iteration count per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const ITERS: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Times `routine` over per-iteration fresh inputs from `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        const ITERS: u64 = 8;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += ITERS;
+    }
+}
+
+/// Groups benchmark functions under one callable, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups with CLI-derived configuration.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion::default();
+        c.filters.push("nope".into());
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("yes", |b| b.iter(|| ran = true));
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for the `memmap2` crate (see `vendor/README.md`).
+//!
+//! Implements the `MmapMut` surface used by `mvkv-pmem::backend`: a shared
+//! writable mapping of a whole file with `flush` (synchronous `msync`) and
+//! `flush_async_range`. Raw `mmap`/`munmap`/`msync` are declared directly
+//! against libc (which every linux-gnu binary already links) so no external
+//! crate is needed.
+
+#![cfg(unix)]
+
+use std::fs::File;
+use std::io;
+use std::ops::{Deref, DerefMut};
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const MAP_SHARED: i32 = 1;
+const MS_ASYNC: i32 = 1;
+const MS_SYNC: i32 = 4;
+const PAGE: usize = 4096;
+
+extern "C" {
+    fn mmap(
+        addr: *mut u8,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+    fn msync(addr: *mut u8, len: usize, flags: i32) -> i32;
+}
+
+/// A mutable shared memory map of an entire file.
+pub struct MmapMut {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is a plain region of process memory; `MmapMut` owns it
+// exclusively and hands out references only through `Deref`/`DerefMut`, so
+// moving or sharing the handle across threads is as safe as for a Box<[u8]>.
+unsafe impl Send for MmapMut {}
+// SAFETY: see above — shared access only yields `&[u8]`.
+unsafe impl Sync for MmapMut {}
+
+impl MmapMut {
+    /// Maps `file` shared and writable over its full current length.
+    ///
+    /// # Safety
+    /// The caller must guarantee the file is not truncated or concurrently
+    /// remapped while the mapping is alive (same contract as memmap2).
+    pub unsafe fn map_mut(file: &File) -> io::Result<MmapMut> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(MmapMut { ptr: std::ptr::null_mut(), len: 0 });
+        }
+        let ptr = mmap(
+            std::ptr::null_mut(),
+            len,
+            PROT_READ | PROT_WRITE,
+            MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MmapMut { ptr, len })
+    }
+
+    /// Synchronously flushes the whole mapping to its backing file.
+    pub fn flush(&self) -> io::Result<()> {
+        self.sync(0, self.len, MS_SYNC)
+    }
+
+    /// Starts an asynchronous flush of `[offset, offset + len)`.
+    pub fn flush_async_range(&self, offset: usize, len: usize) -> io::Result<()> {
+        self.sync(offset, len, MS_ASYNC)
+    }
+
+    /// Synchronously flushes `[offset, offset + len)`.
+    pub fn flush_range(&self, offset: usize, len: usize) -> io::Result<()> {
+        self.sync(offset, len, MS_SYNC)
+    }
+
+    fn sync(&self, offset: usize, len: usize, flags: i32) -> io::Result<()> {
+        if self.len == 0 || len == 0 {
+            return Ok(());
+        }
+        if offset.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "flush range out of bounds"));
+        }
+        // msync requires a page-aligned start address.
+        let start = offset & !(PAGE - 1);
+        let span = len + (offset - start);
+        // SAFETY: `ptr` is a live mapping of `self.len` bytes and
+        // `[start, start + span)` was bounds-checked above (page rounding
+        // only moves the start down within the mapping).
+        let rc = unsafe { msync(self.ptr.add(start), span, flags) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+impl Deref for MmapMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live, owned mapping of exactly `len` bytes.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl DerefMut for MmapMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        if self.len == 0 {
+            return &mut [];
+        }
+        // SAFETY: `ptr` is a live, owned mapping of exactly `len` bytes and
+        // `&mut self` guarantees exclusive access.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for MmapMut {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once here.
+            unsafe { munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(name: &str, bytes: usize) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!("mmap-stub-{}-{name}", std::process::id()));
+        let mut f = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&vec![0u8; bytes]).unwrap();
+        (path, f)
+    }
+
+    #[test]
+    fn write_flush_reopen_roundtrip() {
+        let (path, f) = tmpfile("roundtrip", 8192);
+        // SAFETY: test-local file, nothing else touches it.
+        let mut map = unsafe { MmapMut::map_mut(&f).unwrap() };
+        map[0] = 0xAB;
+        map[8191] = 0xCD;
+        map.flush().unwrap();
+        map.flush_async_range(4096, 128).unwrap();
+        drop(map);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!((bytes[0], bytes[8191]), (0xAB, 0xCD));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn out_of_bounds_flush_is_rejected() {
+        let (path, f) = tmpfile("oob", 4096);
+        // SAFETY: test-local file.
+        let map = unsafe { MmapMut::map_mut(&f).unwrap() };
+        assert!(map.flush_async_range(4000, 1000).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

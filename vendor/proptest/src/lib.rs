@@ -1,0 +1,399 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the strategy combinators and macros the workspace's property
+//! tests use: range / tuple / `Just` strategies, `prop_map`, `prop_shuffle`,
+//! weighted `prop_oneof!`, `proptest::collection::vec`, and the `proptest!`
+//! / `prop_assert!` / `prop_assert_eq!` macros. Values are generated from a
+//! deterministic SplitMix64 stream seeded per test name and case index, so
+//! failures reproduce run-to-run. Shrinking is not implemented: a failing
+//! case reports its case number (re-runnable deterministically) instead of
+//! a minimized input.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value` (no shrinking in this shim).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// For strategies producing `Vec<T>`: permute the produced vector
+        /// uniformly (Fisher–Yates).
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { inner: self }
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_shuffle` adapter.
+    pub struct Shuffle<S> {
+        inner: S,
+    }
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.inner.generate(rng);
+            let n = v.len();
+            for i in (1..n).rev() {
+                let j = (rng.next() % (i as u64 + 1)) as usize;
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+
+    /// Constant strategy: always yields a clone of the value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end - self.start) as u64;
+                        self.start + (rng.next() % span) as $t
+                    }
+                }
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi - lo) as u64;
+                        if span == u64::MAX {
+                            return rng.next() as $t;
+                        }
+                        lo + (rng.next() % (span + 1)) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {
+            $(
+                impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                    type Value = ($($s::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.generate(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+
+    tuple_strategies![
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+    ];
+
+    /// Object-safe strategy view, used by `prop_oneof!` to mix strategy
+    /// types with a common value type.
+    pub trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Weighted union of boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        choices: Vec<(u32, Box<dyn DynStrategy<V>>)>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new_weighted(choices: Vec<(u32, Box<dyn DynStrategy<V>>)>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(choices.iter().any(|(w, _)| *w > 0), "all prop_oneof! weights are zero");
+            Union { choices }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.choices.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.next() % total;
+            for (w, s) in &self.choices {
+                let w = *w as u64;
+                if pick < w {
+                    return s.dyn_generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weight arithmetic covered the whole range")
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, length_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        pub fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Per-`proptest!`-block configuration. Only `cases` is honored; the
+    /// other fields exist so `..ProptestConfig::default()` syntax works.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+        pub fork: bool,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config { cases, max_shrink_iters: 0, fork: false }
+        }
+    }
+
+    /// A failed property: message plus source location, reported by
+    /// `prop_assert!`.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    /// FNV-1a, used to derive per-test seeds from test names.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each generated `#[test]` runs `config.cases`
+/// deterministic cases; a `prop_assert!` failure aborts the case with its
+/// case number (no shrinking in this shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let base = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(base ^ (case.wrapping_mul(0xA5A5_5A5A_DEAD_BEEF)));
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("property '{}' failed at case {}/{}: {}",
+                               stringify!($name), case, config.cases, e.0);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("[{}:{}] {}", file!(), line!(), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// Weighted (or unweighted) union of strategies with a shared value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, Box::new($strat) as Box<dyn $crate::strategy::DynStrategy<_>>)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(7);
+        let strat = (0u64..10, 5usize..6);
+        for _ in 0..100 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+        }
+    }
+
+    #[test]
+    fn vec_and_shuffle_produce_permutations() {
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        let strat = Just((1..=20u64).collect::<Vec<u64>>()).prop_shuffle();
+        for _ in 0..20 {
+            let mut v = strat.generate(&mut rng);
+            v.sort_unstable();
+            assert_eq!(v, (1..=20).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_arms_exist() {
+        let mut rng = crate::test_runner::TestRng::from_seed(11);
+        let strat = prop_oneof![3 => (0u64..5).prop_map(|v| v), 1 => (10u64..15).prop_map(|v| v)];
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..400 {
+            let v = strat.generate(&mut rng);
+            if v < 5 {
+                low += 1;
+            } else {
+                assert!((10..15).contains(&v));
+                high += 1;
+            }
+        }
+        assert!(low > high, "3:1 weighting should favour the first arm");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_cases(v in proptest::collection::vec((0u64..100, 0u64..100), 1..50)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() < 50);
+            for (a, b) in v {
+                prop_assert!(a < 100 && b < 100);
+            }
+        }
+    }
+
+    // `proptest` refers to this crate by name inside the macro expansion
+    // when used externally; within the crate's own tests, alias it.
+    use crate as proptest;
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Provides the tiny parallel-iterator subset the workspace uses
+//! (`into_par_iter().enumerate().for_each(..)`), executed with one scoped
+//! thread per item — the items at the call sites are per-worker output
+//! slices, so a thread per item matches rayon's effective parallelism
+//! there without a work-stealing pool.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+/// Conversion into a "parallel" iterator (blanket impl over `IntoIterator`).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// A parallel-iterator adapter over a plain iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Runs `f` over every item, one scoped thread per item.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.0.collect();
+        let f = &f;
+        std::thread::scope(|scope| {
+            for item in items {
+                scope.spawn(move || f(item));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerated_for_each_touches_every_slice() {
+        let mut data = vec![0u64; 8];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(2).collect();
+        chunks.into_par_iter().enumerate().for_each(|(i, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = i as u64 + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+}

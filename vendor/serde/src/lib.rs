@@ -1,0 +1,148 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The workspace only serializes flat statistics/report structs to JSON
+//! (`serde_json::to_string` on `#[derive(Serialize)]` types), so this shim
+//! collapses serde's data model to one operation: append the value's JSON
+//! encoding to a string. The derive macro (`serde_derive`) emits the
+//! field-by-field object encoding.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A type that can append its JSON encoding to `out`.
+pub trait Serialize {
+    fn json_encode(&self, out: &mut String);
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn json_encode(&self, out: &mut String) {
+                    use std::fmt::Write;
+                    let _ = write!(out, "{self}");
+                }
+            }
+        )*
+    };
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn json_encode(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            // JSON has no NaN/Inf; encode as null like serde_json's lossy modes.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn json_encode(&self, out: &mut String) {
+        (*self as f64).json_encode(out);
+    }
+}
+
+impl Serialize for bool {
+    fn json_encode(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn json_encode(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn json_encode(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_encode(&self, out: &mut String) {
+        (**self).json_encode(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_encode(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_encode(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_encode(&self, out: &mut String) {
+        self.as_slice().json_encode(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_encode(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_encode(out);
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_encodings() {
+        let mut out = String::new();
+        42u64.json_encode(&mut out);
+        out.push(',');
+        (-7i64).json_encode(&mut out);
+        out.push(',');
+        1.5f64.json_encode(&mut out);
+        out.push(',');
+        true.json_encode(&mut out);
+        out.push(',');
+        "a\"b\\c\n".json_encode(&mut out);
+        assert_eq!(out, "42,-7,1.5,true,\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        let mut out = String::new();
+        vec![1u64, 2, 3].json_encode(&mut out);
+        assert_eq!(out, "[1,2,3]");
+        let mut out = String::new();
+        Option::<u64>::None.json_encode(&mut out);
+        assert_eq!(out, "null");
+    }
+}

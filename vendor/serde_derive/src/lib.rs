@@ -1,0 +1,102 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Supports `#[derive(Serialize)]` on plain (non-generic) structs with named
+//! fields — the only shape the workspace derives on. The generated impl
+//! encodes the struct as a JSON object via `serde::Serialize::json_encode`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Find `struct <Name>`.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "struct" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => {
+                        name = Some(n.to_string());
+                        break;
+                    }
+                    _ => panic!("derive(Serialize): expected a struct name"),
+                }
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize): only structs are supported");
+
+    // Find the `{ ... }` field body (skipping nothing else of interest —
+    // generic structs are not supported and would fail to find a brace
+    // group before `;`).
+    let body = tokens
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("derive(Serialize): tuple/unit structs are not supported")
+            }
+            _ => None,
+        })
+        .expect("derive(Serialize): struct body not found");
+
+    let fields = parse_field_names(body);
+    if fields.is_empty() {
+        panic!("derive(Serialize): structs with no fields are not supported");
+    }
+
+    let mut encode = String::new();
+    encode.push_str("out.push('{');\n");
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            encode.push_str("out.push(',');\n");
+        }
+        encode.push_str(&format!(
+            "serde::write_json_str(out, \"{field}\");\nout.push(':');\n\
+             serde::Serialize::json_encode(&self.{field}, out);\n"
+        ));
+    }
+    encode.push_str("out.push('}');\n");
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn json_encode(&self, out: &mut String) {{\n{encode}\n}}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Extracts the field names from a named-field struct body: for each field,
+/// the identifier immediately before the first top-level `:`, skipping
+/// attributes (`#[..]`) and visibility (`pub`, `pub(..)`).
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut in_type = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ':' && !in_type => {
+                if let Some(f) = pending.take() {
+                    fields.push(f);
+                }
+                in_type = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                in_type = false;
+                pending = None;
+            }
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    pending = Some(s);
+                }
+            }
+            // Groups cover attribute bodies `[...]` and `pub(crate)` parens;
+            // both are ignored. Everything inside the type position is
+            // likewise skipped until the field-separating comma.
+            _ => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`): JSON string
+//! production over the vendored `serde::Serialize` trait. Encoding is
+//! infallible for the flat report/stats structs the workspace serializes,
+//! but the `Result` signature is kept for API compatibility.
+
+use std::fmt;
+
+/// Serialization error (never produced by this shim; kept for signature
+/// compatibility with real serde_json).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encodes `value` as a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.json_encode(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn encodes_scalars_and_vecs() {
+        assert_eq!(super::to_string(&7u64).unwrap(), "7");
+        assert_eq!(super::to_string(&vec!["a", "b"]).unwrap(), "[\"a\",\"b\"]");
+    }
+}
