@@ -85,6 +85,31 @@ pub fn report(figure: &'static str, title: &str, rows: &[Row]) {
             }
         }
     }
+    maybe_emit_metrics(figure);
+}
+
+/// True when the run asked for a metrics snapshot — `--metrics` anywhere on
+/// the command line (cargo bench forwards unrecognized flags to the harness)
+/// or `MVKV_METRICS=1` in the environment.
+pub fn metrics_requested() -> bool {
+    std::env::args().any(|a| a == "--metrics")
+        || std::env::var("MVKV_METRICS").is_ok_and(|v| v == "1")
+}
+
+/// Prints the obs registry's text exposition after a figure's table when
+/// requested. With the `obs` feature off this explains how to turn it on
+/// instead of dumping an empty page.
+fn maybe_emit_metrics(figure: &'static str) {
+    if !metrics_requested() {
+        return;
+    }
+    println!("\n--- {figure}: metrics snapshot (Prometheus text exposition) ---");
+    if mvkv_obs::is_enabled() {
+        print!("{}", mvkv_obs::Registry::global().render_text());
+    } else {
+        println!("# obs layer compiled out; re-run with --features obs to collect metrics");
+    }
+    println!("--- end metrics snapshot ---");
 }
 
 // ---------------------------------------------------------------------------

@@ -268,6 +268,7 @@ impl ServiceEndpoint {
         if !self.dead[rank] {
             self.dead[rank] = true;
             self.stats.ranks_declared_dead += 1;
+            mvkv_obs::counter_inc!("mvkv_cluster_ranks_declared_dead_total");
         }
     }
 
@@ -300,23 +301,27 @@ impl ServiceEndpoint {
                 Ok(reply) => {
                     if reply.len() < 8 {
                         self.stats.protocol_errors += 1;
+                        mvkv_obs::counter_inc!("mvkv_cluster_protocol_errors_total");
                         continue;
                     }
                     let reply_seq = read_word(&reply, 0);
                     if reply_seq < self.seq {
                         self.stats.stale_replies += 1;
+                        mvkv_obs::counter_inc!("mvkv_cluster_stale_replies_total");
                         continue;
                     }
                     return Ok(reply[8..].to_vec());
                 }
                 Err(RecvError::Timeout) => {
                     self.stats.timeouts += 1;
+                    mvkv_obs::counter_inc!("mvkv_cluster_timeouts_total");
                     attempt += 1;
                     if attempt > self.config.max_retries {
                         self.declare_dead(rank);
                         return Err(());
                     }
                     self.stats.retries += 1;
+                    mvkv_obs::counter_inc!("mvkv_cluster_retries_total");
                     if self.comm.send(rank, TAG_REQ, msg.to_vec()).is_err() {
                         self.declare_dead(rank);
                         return Err(());
@@ -351,12 +356,19 @@ impl ServiceEndpoint {
             }
         }
         self.stats.rounds += 1;
+        mvkv_obs::counter_inc!("mvkv_cluster_rounds_total");
         (responded, bodies)
     }
 
     fn degraded<T>(&self, value: T, mut responded: Vec<usize>) -> Degraded<T> {
         responded.insert(0, 0); // the coordinator always answers for itself
-        Degraded { value, responded, dead: self.dead_ranks() }
+        let dead = self.dead_ranks();
+        if !dead.is_empty() {
+            // A result computed without every rank: the caller sees a
+            // partial view (the cluster is degraded, not failed).
+            mvkv_obs::counter_inc!("mvkv_cluster_degraded_results_total");
+        }
+        Degraded { value, responded, dead }
     }
 
     // -- coordinator API (rank 0) ---------------------------------------------

@@ -45,6 +45,8 @@ pub use eskiplist::ESkipList;
 pub use export::{export_snapshot, import_snapshot, read_snapshot, write_snapshot, ExportError};
 pub use lockedmap::LockedMap;
 pub use pskiplist::{CompactStats, PSkipList, RestartStats, StoreOptions};
+#[doc(hidden)]
+pub use pskiplist::splitmix as splitmix_for_tests;
 pub use stats::OpStats;
 pub use vmap::VersionedMap;
 

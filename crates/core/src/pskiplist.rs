@@ -564,6 +564,7 @@ impl PSkipList {
     /// chunks are key-sorted and disjoint, so a k-way merge restores the
     /// global order.
     fn extract_filtered(&self, version: u64, lo: u64, hi: Option<u64>) -> Vec<Pair> {
+        mvkv_obs::span!("mvkv_core_extract_ns");
         let fc = self.clock.watermark();
         let approx = self.index.len() as usize;
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
@@ -620,8 +621,11 @@ impl PSkipList {
 const PARALLEL_EXTRACT_MIN: usize = 4096;
 
 /// SplitMix64 finalizer — spreads adjacent keys across extraction workers.
+/// Public (doc-hidden, re-exported as `splitmix_for_tests`) so the
+/// extraction edge-case tests can construct worker-skewed key sets.
+#[doc(hidden)]
 #[inline]
-fn splitmix(mut x: u64) -> u64 {
+pub fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -690,6 +694,7 @@ impl VersionedStore for PSkipList {
 
 impl StoreSession for &PSkipList {
     fn insert(&self, key: u64, value: u64) -> u64 {
+        mvkv_obs::span!("mvkv_core_insert_ns");
         debug_assert_ne!(value, TOMBSTONE, "value reserved for removal marker");
         self.counters.insert();
         let hist = self.get_or_create_history(key);
@@ -701,6 +706,7 @@ impl StoreSession for &PSkipList {
     }
 
     fn remove(&self, key: u64) -> u64 {
+        mvkv_obs::span!("mvkv_core_remove_ns");
         self.counters.remove();
         let hist = self.get_or_create_history(key);
         let version = self.clock.issue();
@@ -721,6 +727,8 @@ impl StoreSession for &PSkipList {
     /// version at or beyond the first unpublished one, so the recovered
     /// state is always a consistent prefix of the batch.
     fn insert_batch(&self, pairs: &[Pair]) -> Vec<u64> {
+        mvkv_obs::span!("mvkv_core_insert_batch_ns");
+        mvkv_obs::counter_add!("mvkv_core_insert_batch_pairs_total", pairs.len() as u64);
         // Chunked so a huge batch cannot exhaust the version clock's
         // completion window while holding every version incomplete.
         const CHUNK: usize = 1024;
@@ -750,6 +758,7 @@ impl StoreSession for &PSkipList {
     }
 
     fn find(&self, key: u64, version: u64) -> Option<u64> {
+        mvkv_obs::span!("mvkv_core_find_ns");
         self.counters.find();
         let hist = self.index.get(&key)?;
         let result = self.history(hist).find(version, self.clock.watermark());
@@ -795,6 +804,7 @@ impl PSkipList {
 
 impl crate::api::LabeledTags for PSkipList {
     fn tag_labeled(&self, label: u64) -> u64 {
+        mvkv_obs::span!("mvkv_core_tag_ns");
         let version = self.clock.watermark();
         // Chain pair payloads must be non-zero, so versions are stored
         // biased by one (version 0 = "empty store" is a valid tag target).

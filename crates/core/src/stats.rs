@@ -26,7 +26,11 @@ macro_rules! bump {
         $(
             #[inline]
             pub(crate) fn $name(&self) {
-                self.$field.fetch_add(1, Ordering::Relaxed);
+                // Release pairs with the Acquire loads in `snapshot`: a
+                // snapshot that observes a derived counter (e.g. find_hits)
+                // also observes every bump the same operation issued before
+                // it (e.g. finds) — see the ordering argument there.
+                self.$field.fetch_add(1, Ordering::Release);
             }
         )*
     };
@@ -49,16 +53,33 @@ impl OpCounters {
     }
 
     /// A point-in-time copy of all counters.
+    ///
+    /// The copy is taken **in reverse bump order**: operations bump their
+    /// base counter before the derived one (`find` bumps `finds` before
+    /// `find_hits`; an insert/remove bumps its mutation counter before
+    /// `new_keys`/`lost_key_races`), so loading the derived counter first
+    /// (Acquire, pairing with the Release bumps) guarantees the invariants
+    /// `find_hits <= finds` and `new_keys + lost_key_races <= mutations()`
+    /// hold in every snapshot, even mid-update. The old same-order Relaxed
+    /// copy could transiently report more hits than finds.
     pub fn snapshot(&self) -> OpStats {
+        let lost_key_races = self.lost_key_races.load(Ordering::Acquire);
+        let new_keys = self.new_keys.load(Ordering::Acquire);
+        let find_hits = self.find_hits.load(Ordering::Acquire);
+        let history_queries = self.history_queries.load(Ordering::Acquire);
+        let snapshot_extractions = self.snapshot_extractions.load(Ordering::Acquire);
+        let finds = self.finds.load(Ordering::Acquire);
+        let inserts = self.inserts.load(Ordering::Acquire);
+        let removes = self.removes.load(Ordering::Acquire);
         OpStats {
-            inserts: self.inserts.load(Ordering::Relaxed),
-            removes: self.removes.load(Ordering::Relaxed),
-            finds: self.finds.load(Ordering::Relaxed),
-            find_hits: self.find_hits.load(Ordering::Relaxed),
-            history_queries: self.history_queries.load(Ordering::Relaxed),
-            snapshot_extractions: self.snapshot_extractions.load(Ordering::Relaxed),
-            new_keys: self.new_keys.load(Ordering::Relaxed),
-            lost_key_races: self.lost_key_races.load(Ordering::Relaxed),
+            inserts,
+            removes,
+            finds,
+            find_hits,
+            history_queries,
+            snapshot_extractions,
+            new_keys,
+            lost_key_races,
         }
     }
 }
@@ -105,6 +126,48 @@ mod tests {
         assert_eq!(s.finds, 1);
         assert_eq!(s.find_hits, 1);
         assert_eq!(s.mutations(), 3);
+    }
+
+    /// Regression test for the read-during-update snapshot race: writers
+    /// bump `finds` then `find_hits` (and a mutation counter then
+    /// `new_keys`); the old snapshot loaded the fields in declaration order
+    /// with Relaxed, so it could observe a hit whose find was still
+    /// missing — reporting `find_hits > finds`. The reordered
+    /// Acquire/Release snapshot makes both invariants hold at all times.
+    #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
+    fn snapshot_invariants_hold_mid_update() {
+        let c = std::sync::Arc::new(OpCounters::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let c = c.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // The orders real operations use.
+                        c.find();
+                        c.find_hit();
+                        c.insert();
+                        c.new_key();
+                        c.remove();
+                        c.lost_key_race();
+                    }
+                });
+            }
+            for _ in 0..200_000 {
+                let s = c.snapshot();
+                assert!(
+                    s.find_hits <= s.finds,
+                    "snapshot saw hits without their finds: {s:?}"
+                );
+                assert!(
+                    s.new_keys + s.lost_key_races <= s.mutations(),
+                    "snapshot saw key outcomes without their mutations: {s:?}"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Edge cases for the parallel snapshot extraction path
+//! (`PSkipList::extract_filtered`): empty results, single keys, workloads
+//! that straddle the serial/parallel threshold, and a pathological skew
+//! where every key hashes to worker 0.
+
+use mvkv_core::{PSkipList, StoreSession, VersionedStore};
+
+/// Mirror of the private `PARALLEL_EXTRACT_MIN` in `pskiplist.rs` — the
+/// straddle tests below sit one key either side of it.
+const THRESHOLD: u64 = 4096;
+
+fn make_store(keys: impl Iterator<Item = u64> + Clone) -> PSkipList {
+    let store = PSkipList::create_volatile(128 << 20).expect("pool");
+    let session = store.session();
+    for k in keys {
+        session.insert(k, k.wrapping_mul(31) | 1);
+    }
+    store.wait_writes_complete();
+    store
+}
+
+fn expected(keys: impl Iterator<Item = u64>) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = keys.map(|k| (k, k.wrapping_mul(31) | 1)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn empty_store_and_empty_ranges() {
+    let store = PSkipList::create_volatile(16 << 20).expect("pool");
+    let session = store.session();
+    assert_eq!(session.extract_snapshot(0), vec![]);
+    assert_eq!(session.extract_range(0, 10, 10), vec![]); // lo == hi
+    assert_eq!(session.extract_range(0, 10, 5), vec![]); // inverted
+
+    // Non-empty store, but the range lies beyond every key / between keys.
+    session.insert(100, 1);
+    session.insert(200, 2);
+    let v = store.tag();
+    assert_eq!(session.extract_range(v, 300, 400), vec![]);
+    assert_eq!(session.extract_range(v, 101, 200), vec![]);
+    assert_eq!(session.extract_range(v, 0, 100), vec![]);
+}
+
+#[test]
+fn single_key_store() {
+    let store = make_store(std::iter::once(42));
+    let session = store.session();
+    let v = store.tag();
+    let want = expected(std::iter::once(42));
+    assert_eq!(session.extract_snapshot(v), want.clone());
+    assert_eq!(session.extract_range(v, 42, 43), want.clone());
+    assert_eq!(session.extract_range(v, 0, 42), vec![]);
+    // Version 0 predates the insert.
+    assert_eq!(session.extract_snapshot(0), vec![]);
+}
+
+#[test]
+fn straddles_the_parallel_threshold() {
+    // One key below the threshold: the serial path. One above: the
+    // partitioned path (on multi-core machines). Results must be identical
+    // in shape either way — sorted, complete, no duplicates.
+    for n in [THRESHOLD - 1, THRESHOLD + 1] {
+        let keys = (0..n).map(|i| i * 7 + 3); // sparse, unordered-ish keyspace
+        let store = make_store(keys.clone());
+        let session = store.session();
+        let v = store.tag();
+        let want = expected(keys);
+        assert_eq!(session.extract_snapshot(v).len(), n as usize, "n={n}");
+        assert_eq!(session.extract_snapshot(v), want, "n={n}");
+        // Sub-ranges cross the partition boundaries too.
+        let (lo, hi) = (want[10].0, want[want.len() - 10].0);
+        let want_range: Vec<_> =
+            want.iter().copied().filter(|&(k, _)| lo <= k && k < hi).collect();
+        assert_eq!(session.extract_range(v, lo, hi), want_range, "n={n}");
+    }
+}
+
+#[test]
+fn removed_keys_stay_out_of_later_snapshots() {
+    let n = THRESHOLD + 64; // force the parallel path
+    let store = make_store(0..n);
+    let session = store.session();
+    let before = store.tag();
+    for k in (0..n).step_by(3) {
+        session.remove(k);
+    }
+    store.wait_writes_complete();
+    let after = store.tag();
+
+    assert_eq!(session.extract_snapshot(before), expected(0..n));
+    let want_after: Vec<_> =
+        expected(0..n).into_iter().filter(|&(k, _)| k % 3 != 0).collect();
+    assert_eq!(session.extract_snapshot(after), want_after);
+}
+
+#[test]
+fn all_keys_hashing_to_one_worker() {
+    // splitmix(key) % 840 == 0 implies splitmix(key) % w == 0 for every
+    // worker count w in 1..=8 (840 = lcm(1..8)), so whatever parallelism
+    // the machine has, every key is claimed by worker 0 and the other
+    // workers contribute empty chunks to the merge.
+    let skewed: Vec<u64> = (0..)
+        .filter(|&k| mvkv_core::splitmix_for_tests(k).is_multiple_of(840))
+        .take((THRESHOLD + 128) as usize)
+        .collect();
+    assert!(skewed.len() as u64 > THRESHOLD);
+
+    let store = make_store(skewed.iter().copied());
+    let session = store.session();
+    let v = store.tag();
+    let want = expected(skewed.iter().copied());
+    assert_eq!(session.extract_snapshot(v), want);
+
+    let (lo, hi) = (want[1].0, want[want.len() - 1].0);
+    let want_range: Vec<_> = want.iter().copied().filter(|&(k, _)| lo <= k && k < hi).collect();
+    assert_eq!(session.extract_range(v, lo, hi), want_range);
+}

@@ -23,6 +23,7 @@ pub fn rebuild_into<F>(chain: &KeyChain<'_>, threads: usize, sink: F) -> Rebuild
 where
     F: Fn(u64, u64) + Sync,
 {
+    mvkv_obs::span!("mvkv_keychain_rebuild_ns");
     let threads = threads.max(1);
     let sink = &sink;
     let counts: Vec<(u64, u64)> = std::thread::scope(|scope| {
@@ -46,11 +47,14 @@ where
         }));
         handles.into_iter().map(|h| h.join().expect("rebuild worker panicked")).collect()
     });
-    RebuildStats {
+    let stats = RebuildStats {
         blocks: counts.iter().map(|c| c.0).sum(),
         pairs: counts.iter().map(|c| c.1).sum(),
         threads,
-    }
+    };
+    mvkv_obs::counter_add!("mvkv_keychain_rebuild_pairs_total", stats.pairs);
+    mvkv_obs::counter_inc!("mvkv_keychain_rebuilds_total");
+    stats
 }
 
 #[cfg(test)]

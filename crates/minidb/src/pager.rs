@@ -47,10 +47,12 @@ impl PageCache {
             Some((buf, used)) => {
                 *used = self.clock;
                 self.hits += 1;
+                mvkv_obs::counter_inc!("mvkv_minidb_page_cache_hits_total");
                 Some(buf.clone())
             }
             None => {
                 self.misses += 1;
+                mvkv_obs::counter_inc!("mvkv_minidb_page_cache_misses_total");
                 None
             }
         }

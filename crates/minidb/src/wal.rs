@@ -188,6 +188,7 @@ impl Wal {
     /// commit record, synced once, then published to the index. Callers
     /// hold the engine's writer lock.
     pub fn commit<'a>(&self, writes: impl Iterator<Item = (u64, &'a PageBuf)>) -> Result<()> {
+        mvkv_obs::counter_inc!("mvkv_minidb_wal_commits_total");
         let mut off = self.len.load(Ordering::Acquire);
         let mut staged: Vec<(u64, u64)> = Vec::new();
         for (page_id, buf) in writes {

@@ -86,12 +86,19 @@ impl Shard {
 }
 
 /// Volatile allocator state attached to a pool.
+///
+/// There is deliberately **no** independent `total_allocs` counter:
+/// [`Allocator::stats`] derives it as `hits + steals + refills +
+/// large_allocs`, so a snapshot can never observe "more allocations served
+/// than performed" no matter how it interleaves with concurrent updates
+/// (the read-during-update race the old two-counter scheme had).
 pub struct Allocator {
     shards: [Shard; NUM_SHARDS],
     /// Freed large blocks: total block size → payload offsets.
     large_free: Mutex<BTreeMap<u64, Vec<u64>>>,
     live_blocks: AtomicU64,
-    total_allocs: AtomicU64,
+    /// Allocations served by the large path (best-fit reuse or exact bump).
+    large_allocs: AtomicU64,
     total_frees: AtomicU64,
 }
 
@@ -104,8 +111,12 @@ pub struct AllocStats {
     pub heap_remaining: u64,
     /// Blocks currently allocated.
     pub live_blocks: u64,
-    /// Lifetime allocation count (this process).
+    /// Lifetime allocation count (this process). Derived at snapshot time
+    /// from the per-path counters, so it always equals `shard_hits +
+    /// shard_steals + shard_refills + large_allocs` of the same snapshot.
     pub total_allocs: u64,
+    /// Lifetime large-path allocation count (this process).
+    pub large_allocs: u64,
     /// Lifetime free count (this process).
     pub total_frees: u64,
     /// Per-shard allocations served from the shard's own free lists.
@@ -128,7 +139,7 @@ impl Allocator {
             shards: std::array::from_fn(|_| Shard::new()),
             large_free: Mutex::new(BTreeMap::new()),
             live_blocks: AtomicU64::new(0),
-            total_allocs: AtomicU64::new(0),
+            large_allocs: AtomicU64::new(0),
             total_frees: AtomicU64::new(0),
         }
     }
@@ -137,13 +148,15 @@ impl Allocator {
     pub fn alloc(&self, pool: &PmemPool, len: usize) -> Result<u64> {
         let len = len.max(1);
         if let Some(class) = class_for(len) {
-            // Ordering note: hits/steals/refills and the total counters
-            // below are monitoring stats only — Relaxed by design; nothing
-            // is ordered against them.
+            // Ordering note: hits/steals/refills below are monitoring stats
+            // only — Relaxed by design; nothing is ordered against them.
+            // `stats()` derives total_allocs from them, so each alloc bumps
+            // exactly one classifying counter.
             let me = shard_id();
             // 1. Own arena — the contention-free fast path.
             if let Some(off) = self.shards[me].class_free[class].lock().pop() {
                 self.shards[me].hits.fetch_add(1, Ordering::Relaxed);
+                mvkv_obs::counter_inc_hot!("mvkv_pmem_alloc_hits_total");
                 self.mark_allocated(pool, off);
                 return Ok(off);
             }
@@ -154,6 +167,7 @@ impl Allocator {
                 let sib = (me + delta) % NUM_SHARDS;
                 if let Some(off) = self.shards[sib].class_free[class].lock().pop() {
                     self.shards[me].steals.fetch_add(1, Ordering::Relaxed);
+                    mvkv_obs::counter_inc!("mvkv_pmem_alloc_steals_total");
                     self.mark_allocated(pool, off);
                     return Ok(off);
                 }
@@ -179,6 +193,8 @@ impl Allocator {
                     large.remove(&size);
                 }
                 drop(large);
+                self.large_allocs.fetch_add(1, Ordering::Relaxed);
+                mvkv_obs::counter_inc!("mvkv_pmem_alloc_large_total");
                 self.mark_allocated(pool, off);
                 return Ok(off);
             }
@@ -239,8 +255,8 @@ impl Allocator {
                 self.shards[me].class_free[class].lock().extend(extras);
             }
             self.shards[me].refills.fetch_add(1, Ordering::Relaxed);
+            mvkv_obs::counter_inc!("mvkv_pmem_alloc_refills_total");
             self.live_blocks.fetch_add(1, Ordering::Relaxed);
-            self.total_allocs.fetch_add(1, Ordering::Relaxed);
             return Ok(current + BLOCK_HEADER);
         }
     }
@@ -267,8 +283,9 @@ impl Allocator {
             pool.persist(current, BLOCK_HEADER as usize);
             pool.persist(OFF_BUMP, 8);
             pool.fence();
+            self.large_allocs.fetch_add(1, Ordering::Relaxed);
+            mvkv_obs::counter_inc!("mvkv_pmem_alloc_large_total");
             self.live_blocks.fetch_add(1, Ordering::Relaxed);
-            self.total_allocs.fetch_add(1, Ordering::Relaxed);
             return Ok(current + BLOCK_HEADER);
         }
     }
@@ -279,7 +296,6 @@ impl Allocator {
         pool.persist(header + 8, 8);
         pool.fence();
         self.live_blocks.fetch_add(1, Ordering::Relaxed);
-        self.total_allocs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Frees the block whose payload starts at `off`. Class blocks return
@@ -305,6 +321,7 @@ impl Allocator {
         }
         self.live_blocks.fetch_sub(1, Ordering::Relaxed);
         self.total_frees.fetch_add(1, Ordering::Relaxed);
+        mvkv_obs::counter_inc!("mvkv_pmem_deallocs_total");
     }
 
     /// Walks the heap after reopen, repopulating free lists and fixing a
@@ -352,15 +369,29 @@ impl Allocator {
 
     pub fn stats(&self, pool: &PmemPool) -> AllocStats {
         let bump = pool.read_u64(OFF_BUMP);
+        let shard_hits: [u64; NUM_SHARDS] =
+            std::array::from_fn(|i| self.shards[i].hits.load(Ordering::Relaxed));
+        let shard_refills: [u64; NUM_SHARDS] =
+            std::array::from_fn(|i| self.shards[i].refills.load(Ordering::Relaxed));
+        let shard_steals: [u64; NUM_SHARDS] =
+            std::array::from_fn(|i| self.shards[i].steals.load(Ordering::Relaxed));
+        let large_allocs = self.large_allocs.load(Ordering::Relaxed);
         AllocStats {
             heap_used: bump - HEAP_START,
             heap_remaining: pool.len() as u64 - bump,
             live_blocks: self.live_blocks.load(Ordering::Relaxed),
-            total_allocs: self.total_allocs.load(Ordering::Relaxed),
+            // Derived from the loads above, never from a separate counter:
+            // the snapshot is internally consistent by construction (see
+            // the struct docs and the stats_snapshot_is_consistent test).
+            total_allocs: shard_hits.iter().sum::<u64>()
+                + shard_refills.iter().sum::<u64>()
+                + shard_steals.iter().sum::<u64>()
+                + large_allocs,
+            large_allocs,
             total_frees: self.total_frees.load(Ordering::Relaxed),
-            shard_hits: std::array::from_fn(|i| self.shards[i].hits.load(Ordering::Relaxed)),
-            shard_refills: std::array::from_fn(|i| self.shards[i].refills.load(Ordering::Relaxed)),
-            shard_steals: std::array::from_fn(|i| self.shards[i].steals.load(Ordering::Relaxed)),
+            shard_hits,
+            shard_refills,
+            shard_steals,
         }
     }
 }
@@ -620,6 +651,56 @@ mod tests {
                 >= freed.len() as u64,
             "recoveries must be hits or steals: {s:?}"
         );
+    }
+
+    /// Regression test for the read-during-update stats race: the old code
+    /// kept an independent `total_allocs` counter bumped *after* the
+    /// per-path hit/steal/refill counters, so a concurrent `stats()` could
+    /// transiently report more served allocations than total allocations.
+    /// `total_allocs` is now derived from the per-path loads of the same
+    /// snapshot, so the identity must hold at every instant — and totals
+    /// must never move backwards between snapshots.
+    #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
+    fn stats_snapshot_is_consistent_during_concurrent_churn() {
+        let p = std::sync::Arc::new(PmemPool::create_volatile(1 << 24).unwrap());
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let p = p.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..20_000u64 {
+                        if stop.load(Ordering::Relaxed) != 0 {
+                            break;
+                        }
+                        // Class allocs plus the occasional large one.
+                        let len = if i % 97 == 0 { 8192 } else { 16 << ((t + i) % 4) };
+                        held.push(p.alloc(len as usize).unwrap());
+                        if held.len() > 8 {
+                            let victim = held.swap_remove((i as usize * 7) % held.len());
+                            p.dealloc(victim);
+                        }
+                    }
+                    for off in held {
+                        p.dealloc(off);
+                    }
+                });
+            }
+            let mut last_total = 0u64;
+            for _ in 0..2_000 {
+                let s = p.alloc_stats();
+                let served = s.shard_hits.iter().sum::<u64>()
+                    + s.shard_steals.iter().sum::<u64>()
+                    + s.shard_refills.iter().sum::<u64>()
+                    + s.large_allocs;
+                assert_eq!(served, s.total_allocs, "snapshot saw a torn total: {s:?}");
+                assert!(s.total_allocs >= last_total, "total went backwards: {s:?}");
+                last_total = s.total_allocs;
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
     }
 
     #[test]

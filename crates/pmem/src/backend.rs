@@ -230,6 +230,11 @@ pub struct CrashSim {
     /// Lifetime count of `fence` calls — lets tests assert on the ordering
     /// cost of an algorithm (e.g. fences per append).
     fences: AtomicU64,
+    /// When non-zero, the N-th fence (1-based) snapshots the shadow into
+    /// `captured` — "crash exactly at this fence boundary" for the
+    /// exhaustive crash-matrix tests.
+    capture_at: AtomicU64,
+    captured: Mutex<Option<Vec<u8>>>,
 }
 
 impl CrashSim {
@@ -242,7 +247,23 @@ impl CrashSim {
             rng_state: AtomicU64::new(options.seed | 1),
             shadow_lock: Mutex::new(()),
             fences: AtomicU64::new(0),
+            capture_at: AtomicU64::new(0),
+            captured: Mutex::new(None),
         }
+    }
+
+    /// Arms the fence trap: the `n`-th fence call (1-based, counted from
+    /// construction) snapshots the durable shadow as if power failed right
+    /// at that ordering point. Pass 0 to disarm. The snapshot is retrieved
+    /// with [`CrashSim::captured_image`]; re-arming clears it.
+    pub fn capture_at_fence(&self, n: u64) {
+        *self.captured.lock() = None;
+        self.capture_at.store(n, Ordering::Relaxed);
+    }
+
+    /// The image captured by an armed fence trap, if that fence has fired.
+    pub fn captured_image(&self) -> Option<Vec<u8>> {
+        self.captured.lock().clone()
     }
 
     /// Number of `fence` calls issued against this backend so far.
@@ -314,6 +335,10 @@ impl Backend for CrashSim {
         if len == 0 {
             return;
         }
+        // Exact persist counts live here rather than in the pool wrapper:
+        // the simulator already pays per-line propagation costs, while the
+        // production backends keep persist() a two-instruction inline.
+        mvkv_obs::counter_inc_hot!("mvkv_pmem_crash_sim_persists_total");
         let start = offset & !(CACHE_LINE - 1);
         let end = ((offset + len + CACHE_LINE - 1) & !(CACHE_LINE - 1)).min(self.front.len);
         self.propagate(start, end);
@@ -329,8 +354,14 @@ impl Backend for CrashSim {
     }
 
     fn fence(&self) {
-        self.fences.fetch_add(1, Ordering::Relaxed);
+        let count = self.fences.fetch_add(1, Ordering::Relaxed) + 1;
         fence(Ordering::SeqCst);
+        if count == self.capture_at.load(Ordering::Relaxed) {
+            // Everything persisted before this fence has already propagated
+            // to the shadow, so the image is exactly the post-power-failure
+            // media state at this ordering point.
+            *self.captured.lock() = Some(self.crash_image());
+        }
     }
 
     fn sync_all(&self) {
@@ -440,6 +471,32 @@ mod tests {
         sim.fence();
         sim.fence();
         assert_eq!(sim.fence_count(), 2);
+    }
+
+    #[test]
+    fn fence_trap_captures_the_exact_boundary() {
+        let sim = CrashSim::new(4096, CrashOptions::default());
+        sim.capture_at_fence(2);
+        // SAFETY: offset 0 is inside the simulated region.
+        unsafe { *sim.base().add(0) = 1 };
+        sim.persist(0, 1);
+        sim.fence(); // boundary 1 — trap not yet sprung
+        assert!(sim.captured_image().is_none());
+        // SAFETY: offset 64 is inside the simulated region.
+        unsafe { *sim.base().add(64) = 2 };
+        sim.persist(64, 1);
+        sim.fence(); // boundary 2 — captured here
+        let at_two = sim.captured_image().expect("trap fired");
+        assert_eq!((at_two[0], at_two[64]), (1, 2));
+        // Later writes must not leak into the captured image.
+        // SAFETY: offset 128 is inside the simulated region.
+        unsafe { *sim.base().add(128) = 3 };
+        sim.persist(128, 1);
+        sim.fence();
+        assert_eq!(sim.captured_image().expect("still armed")[128], 0);
+        // Re-arming clears the previous capture.
+        sim.capture_at_fence(1000);
+        assert!(sim.captured_image().is_none());
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl<S: Slots> History<S> {
     /// `VersionClock` *after* this returns.
     pub fn append(&self, version: u64, value: u64) -> u64 {
         let idx = self.append_prepare(version, value);
-        self.slots.publish_fence();
+        self.publish_fence();
         self.append_publish(idx, version);
         idx
     }
@@ -67,6 +67,7 @@ impl<S: Slots> History<S> {
     /// both stop at it, so a crash between prepare and publish loses only
     /// the tail, never consistency.
     pub fn append_prepare(&self, version: u64, value: u64) -> u64 {
+        mvkv_obs::counter_inc_hot!("mvkv_vhistory_appends_total");
         let idx = self.slots.claim();
         self.slots.persist_pending();
         let e = self.slots.entry(idx);
@@ -85,6 +86,7 @@ impl<S: Slots> History<S> {
     /// publishes. Covers every [`History::append_prepare`] issued (by this
     /// thread) since the previous fence.
     pub fn publish_fence(&self) {
+        mvkv_obs::counter_inc_hot!("mvkv_vhistory_publish_fences_total");
         self.slots.publish_fence();
     }
 
@@ -127,6 +129,7 @@ impl<S: Slots> History<S> {
         loop {
             match tail.compare_exchange_weak(observed, next, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
+                    mvkv_obs::counter_add_hot!("mvkv_vhistory_tail_advances_total", next - observed);
                     self.slots.persist_tail();
                     return next;
                 }

@@ -30,3 +30,4 @@ pub use mvkv_keychain as keychain;
 pub use mvkv_minidb as minidb;
 pub use mvkv_cluster as cluster;
 pub use mvkv_workload as workload;
+pub use mvkv_obs as obs;

@@ -1,0 +1,136 @@
+//! Crash-recovery matrix: power-fail at *every* fence boundary.
+//!
+//! The crash sweep (`crash_sweep.rs`) images the store every few operations;
+//! this suite is exhaustive at the persistence-primitive level instead. It
+//! runs a deterministic insert / insert_batch / tag workload once to learn
+//! its fence schedule, then replays it once per fence index with the crash
+//! simulator armed to capture the media image *at* that exact ordering
+//! point. Every captured image must recover to a legal prefix of the
+//! workload: the watermark stops at some fully published version, snapshots
+//! below it match the oracle, watermarks are monotone across consecutive
+//! boundaries, and any durable tag label resolves to the version it named.
+
+mod common;
+
+use common::Oracle;
+use mvkv::core::api::LabeledTags;
+use mvkv::core::{PSkipList, StoreSession, VersionedStore};
+use mvkv::pmem::CrashOptions;
+
+const POOL: usize = 4 << 20;
+
+/// Deterministic fence budget with no random evictions: every run produces
+/// the identical fence schedule, so boundary `i` lands at the same point of
+/// the workload in every replay.
+fn crash_opts() -> CrashOptions {
+    CrashOptions { eviction_rate: 0.0, seed: 0xC4A5 }
+}
+
+/// The scripted workload: single inserts, a removal wave, two labeled tags
+/// and an `insert_batch` (the coalesced-fence path). Returns the oracle and
+/// the labels with the version each one named.
+fn run_workload(store: &PSkipList) -> (Oracle, Vec<(u64, u64)>) {
+    let session = store.session();
+    let mut oracle = Oracle::new();
+    let mut labels = Vec::new();
+
+    for k in 0..24u64 {
+        session.insert(k, k * 5 + 1);
+        oracle.insert(k, k * 5 + 1);
+    }
+    store.tag_labeled(7);
+    labels.push((7, oracle.version()));
+
+    for k in (0..24u64).step_by(4) {
+        session.remove(k);
+        oracle.remove(k);
+    }
+
+    let pairs: Vec<(u64, u64)> = (100..148u64).map(|k| (k, k * 3)).collect();
+    session.insert_batch(&pairs);
+    for &(k, v) in &pairs {
+        oracle.insert(k, v);
+    }
+    store.tag_labeled(8);
+    labels.push((8, oracle.version()));
+
+    for k in 24..40u64 {
+        session.insert(k, k);
+        oracle.insert(k, k);
+    }
+    store.wait_writes_complete();
+    (oracle, labels)
+}
+
+#[test]
+fn every_fence_boundary_recovers_to_a_legal_prefix() {
+    // Pass 1: learn the fence schedule.
+    let probe = PSkipList::create_crash_sim(POOL, crash_opts()).unwrap();
+    let fences_at_start = probe.pool().fence_count().unwrap();
+    let (oracle, labels) = run_workload(&probe);
+    let total_fences = probe.pool().fence_count().unwrap();
+    let boundaries = total_fences - fences_at_start;
+    assert!(
+        boundaries >= 256,
+        "workload too small for a meaningful matrix: {boundaries} fence boundaries"
+    );
+    eprintln!("crash matrix: sweeping {boundaries} fence boundaries");
+
+    // Pass 2: one replay per fence boundary. Arming happens after store
+    // creation, so the swept indices start past the format-time fences.
+    let mut last_watermark = 0u64;
+    for i in fences_at_start + 1..=total_fences {
+        let store = PSkipList::create_crash_sim(POOL, crash_opts()).unwrap();
+        assert!(store.pool().capture_at_fence(i));
+        run_workload(&store);
+        let image = store
+            .pool()
+            .captured_image()
+            .unwrap_or_else(|| panic!("boundary {i}: trap never fired"));
+
+        let (recovered, stats) = PSkipList::open_image(&image, 2)
+            .unwrap_or_else(|e| panic!("boundary {i}: recovery failed: {e}"));
+        let w = stats.watermark;
+        assert!(
+            w <= oracle.version(),
+            "boundary {i}: watermark {w} beyond the workload's {}",
+            oracle.version()
+        );
+        assert!(
+            w >= last_watermark,
+            "boundary {i}: watermark went backwards ({last_watermark} -> {w})"
+        );
+        last_watermark = w;
+
+        // The recovered store is exactly the oracle's prefix ..=w.
+        let session = recovered.session();
+        for v in [w / 2, w] {
+            assert_eq!(
+                session.extract_snapshot(v),
+                oracle.snapshot(v),
+                "boundary {i}: snapshot at version {v} of watermark {w}"
+            );
+        }
+
+        // A durable label names the version it tagged, and everything up to
+        // that version was published before the tag — so w covers it.
+        for &(label, version) in &labels {
+            if let Some(resolved) = recovered.resolve_label(label) {
+                assert_eq!(resolved, version, "boundary {i}: label {label}");
+                assert!(w >= version, "boundary {i}: label {label} outlived its data");
+            }
+        }
+
+        // And the recovered store accepts new writes at the right version.
+        assert_eq!(session.insert(999_999, 1), w + 1, "boundary {i}: post-recovery insert");
+    }
+
+    // The final boundary is the last operation's publish *fence*; its
+    // publish store lands after that fence, so the image taken there may
+    // legally exclude exactly the final version — but nothing more.
+    assert!(
+        last_watermark >= oracle.version() - 1,
+        "last boundary lost more than the in-flight op: {last_watermark} vs {}",
+        oracle.version()
+    );
+}
