@@ -22,7 +22,12 @@ const HDR_SIZE: usize = 32;
 const BLOCK_HDR: u64 = 32;
 const PAIR_SIZE: u64 = 16;
 
-/// Opaque marker for chain header offsets.
+/// Opaque marker for chain header offsets. Zero-sized: the actual header
+/// words are accessed via explicit offsets, never through fields.
+///
+/// pm-resident: typed target of `PPtr<ChainHdr>`; audited by
+/// `xtask analyze` against `pm_layout.lock`.
+#[repr(C)]
 pub struct ChainHdr(());
 
 /// Handle to a persistent key block chain.

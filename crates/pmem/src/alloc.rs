@@ -52,6 +52,8 @@ fn shard_id() -> usize {
     use mvkv_sync::sync::atomic::AtomicUsize;
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
+        // ordering: shard assignment only needs distinct ids; nothing else
+        // is published through this counter.
         static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS;
     }
     SHARD.with(|s| *s)
@@ -155,7 +157,7 @@ impl Allocator {
             let me = shard_id();
             // 1. Own arena — the contention-free fast path.
             if let Some(off) = self.shards[me].class_free[class].lock().pop() {
-                self.shards[me].hits.fetch_add(1, Ordering::Relaxed);
+                self.shards[me].hits.fetch_add(1, Ordering::Relaxed); // ordering: stat
                 mvkv_obs::counter_inc_hot!("mvkv_pmem_alloc_hits_total");
                 self.mark_allocated(pool, off);
                 return Ok(off);
@@ -166,7 +168,7 @@ impl Allocator {
             for delta in 1..NUM_SHARDS {
                 let sib = (me + delta) % NUM_SHARDS;
                 if let Some(off) = self.shards[sib].class_free[class].lock().pop() {
-                    self.shards[me].steals.fetch_add(1, Ordering::Relaxed);
+                    self.shards[me].steals.fetch_add(1, Ordering::Relaxed); // ordering: stat
                     mvkv_obs::counter_inc!("mvkv_pmem_alloc_steals_total");
                     self.mark_allocated(pool, off);
                     return Ok(off);
@@ -193,7 +195,7 @@ impl Allocator {
                     large.remove(&size);
                 }
                 drop(large);
-                self.large_allocs.fetch_add(1, Ordering::Relaxed);
+                self.large_allocs.fetch_add(1, Ordering::Relaxed); // ordering: stat
                 mvkv_obs::counter_inc!("mvkv_pmem_alloc_large_total");
                 self.mark_allocated(pool, off);
                 return Ok(off);
@@ -254,9 +256,9 @@ impl Allocator {
                 // LIFO order: the next same-thread alloc reuses the newest.
                 self.shards[me].class_free[class].lock().extend(extras);
             }
-            self.shards[me].refills.fetch_add(1, Ordering::Relaxed);
+            self.shards[me].refills.fetch_add(1, Ordering::Relaxed); // ordering: stat
             mvkv_obs::counter_inc!("mvkv_pmem_alloc_refills_total");
-            self.live_blocks.fetch_add(1, Ordering::Relaxed);
+            self.live_blocks.fetch_add(1, Ordering::Relaxed); // ordering: gauge, not a publication
             return Ok(current + BLOCK_HEADER);
         }
     }
@@ -283,9 +285,9 @@ impl Allocator {
             pool.persist(current, BLOCK_HEADER as usize);
             pool.persist(OFF_BUMP, 8);
             pool.fence();
-            self.large_allocs.fetch_add(1, Ordering::Relaxed);
+            self.large_allocs.fetch_add(1, Ordering::Relaxed); // ordering: stat
             mvkv_obs::counter_inc!("mvkv_pmem_alloc_large_total");
-            self.live_blocks.fetch_add(1, Ordering::Relaxed);
+            self.live_blocks.fetch_add(1, Ordering::Relaxed); // ordering: gauge, not a publication
             return Ok(current + BLOCK_HEADER);
         }
     }
@@ -295,7 +297,7 @@ impl Allocator {
         pool.write_u64(header + 8, STATE_ALLOCATED);
         pool.persist(header + 8, 8);
         pool.fence();
-        self.live_blocks.fetch_add(1, Ordering::Relaxed);
+        self.live_blocks.fetch_add(1, Ordering::Relaxed); // ordering: gauge, not a publication
     }
 
     /// Frees the block whose payload starts at `off`. Class blocks return
@@ -319,8 +321,8 @@ impl Allocator {
             Some(class) => self.shards[shard_id()].class_free[class].lock().push(off),
             None => self.large_free.lock().entry(size).or_default().push(off),
         }
-        self.live_blocks.fetch_sub(1, Ordering::Relaxed);
-        self.total_frees.fetch_add(1, Ordering::Relaxed);
+        self.live_blocks.fetch_sub(1, Ordering::Relaxed); // ordering: gauge, not a publication
+        self.total_frees.fetch_add(1, Ordering::Relaxed); // ordering: stat
         mvkv_obs::counter_inc!("mvkv_pmem_deallocs_total");
     }
 
@@ -364,22 +366,23 @@ impl Allocator {
             pool.persist(OFF_BUMP, 8);
             pool.fence();
         }
+        // ordering: open-time rebuild; the pool is not shared yet.
         self.live_blocks.store(live, Ordering::Relaxed);
     }
 
     pub fn stats(&self, pool: &PmemPool) -> AllocStats {
         let bump = pool.read_u64(OFF_BUMP);
         let shard_hits: [u64; NUM_SHARDS] =
-            std::array::from_fn(|i| self.shards[i].hits.load(Ordering::Relaxed));
+            std::array::from_fn(|i| self.shards[i].hits.load(Ordering::Relaxed)); // ordering: stat read
         let shard_refills: [u64; NUM_SHARDS] =
-            std::array::from_fn(|i| self.shards[i].refills.load(Ordering::Relaxed));
+            std::array::from_fn(|i| self.shards[i].refills.load(Ordering::Relaxed)); // ordering: stat read
         let shard_steals: [u64; NUM_SHARDS] =
-            std::array::from_fn(|i| self.shards[i].steals.load(Ordering::Relaxed));
-        let large_allocs = self.large_allocs.load(Ordering::Relaxed);
+            std::array::from_fn(|i| self.shards[i].steals.load(Ordering::Relaxed)); // ordering: stat read
+        let large_allocs = self.large_allocs.load(Ordering::Relaxed); // ordering: stat read
         AllocStats {
             heap_used: bump - HEAP_START,
             heap_remaining: pool.len() as u64 - bump,
-            live_blocks: self.live_blocks.load(Ordering::Relaxed),
+            live_blocks: self.live_blocks.load(Ordering::Relaxed), // ordering: stat read
             // Derived from the loads above, never from a separate counter:
             // the snapshot is internally consistent by construction (see
             // the struct docs and the stats_snapshot_is_consistent test).
@@ -388,7 +391,7 @@ impl Allocator {
                 + shard_steals.iter().sum::<u64>()
                 + large_allocs,
             large_allocs,
-            total_frees: self.total_frees.load(Ordering::Relaxed),
+            total_frees: self.total_frees.load(Ordering::Relaxed), // ordering: stat read
             shard_hits,
             shard_refills,
             shard_steals,

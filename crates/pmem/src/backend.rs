@@ -258,6 +258,8 @@ impl CrashSim {
     /// with [`CrashSim::captured_image`]; re-arming clears it.
     pub fn capture_at_fence(&self, n: u64) {
         *self.captured.lock() = None;
+        // ordering: the arming thread issues the fences itself in tests;
+        // no cross-thread publication rides on this trap counter.
         self.capture_at.store(n, Ordering::Relaxed);
     }
 
@@ -269,12 +271,14 @@ impl CrashSim {
     /// Number of `fence` calls issued against this backend so far.
     /// (Relaxed: a monitoring counter, never synchronized against.)
     pub fn fence_count(&self) -> u64 {
-        self.fences.load(Ordering::Relaxed)
+        self.fences.load(Ordering::Relaxed) // ordering: stat read
     }
 
     fn next_rand(&self) -> u64 {
         // splitmix64 over an atomic counter: deterministic given a seed and
         // the sequence of persist calls.
+        // ordering: the RNG stream only needs atomicity of the counter;
+        // determinism comes from the seed, not from inter-thread order.
         let x = self.rng_state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         let mut z = x;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -354,6 +358,8 @@ impl Backend for CrashSim {
     }
 
     fn fence(&self) {
+        // ordering: the SeqCst fence below is the real ordering point;
+        // these counters are test plumbing around it.
         let count = self.fences.fetch_add(1, Ordering::Relaxed) + 1;
         fence(Ordering::SeqCst);
         if count == self.capture_at.load(Ordering::Relaxed) {

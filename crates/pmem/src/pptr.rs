@@ -10,6 +10,9 @@ use std::marker::PhantomData;
 ///
 /// `PPtr` is `Copy` and has the same representation as `u64`, so it can be
 /// stored *inside* persistent memory.
+///
+/// pm-resident: the root of every persistent link; audited by
+/// `xtask analyze` against `pm_layout.lock`.
 #[repr(transparent)]
 pub struct PPtr<T> {
     off: u64,

@@ -95,6 +95,7 @@ impl<K: Ord> SkipList<K> {
     /// Geometric tower height (p = 1/2), deterministic given insert order.
     /// (The seed is Relaxed: only atomicity matters, not ordering.)
     fn random_height(&self) -> usize {
+        // ordering: the seed only needs atomicity; heights are local.
         let x = self.height_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         let mut z = x;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -197,6 +198,7 @@ impl<K: Ord> SkipList<K> {
         loop {
             for (level, succ) in succs.iter().enumerate().take(height) {
                 // SAFETY: node is still private to this thread.
+                // ordering: the level-0 AcqRel CAS below publishes these.
                 unsafe { (*node).next[level].store(*succ, Ordering::Relaxed) };
             }
             let cell0 = self.cell(preds[0], 0);
@@ -227,6 +229,8 @@ impl<K: Ord> SkipList<K> {
                     break; // already linked here by a previous iteration's re-scan
                 }
                 // SAFETY: node is published; next updates are atomic.
+                // ordering: made visible by the AcqRel CAS on the pred cell
+                // right below; on CAS failure the store is redone.
                 unsafe { (*node).next[level].store(succ, Ordering::Relaxed) };
                 let cell = self.cell(preds[level], level);
                 if cell

@@ -60,7 +60,8 @@ impl VersionClock {
     /// window is exhausted, providing back-pressure against stalled writers.
     pub fn issue(&self) -> u64 {
         loop {
-            // Relaxed read is a hint only; the AcqRel CAS below validates.
+            // ordering: this read is a hint only; the AcqRel CAS below
+            // validates it before anything depends on the value.
             let issued = self.issued.load(Ordering::Relaxed);
             if issued.wrapping_sub(self.fc.load(Ordering::Acquire)) >= self.mask {
                 mvkv_sync::hint::spin_loop();
@@ -69,6 +70,7 @@ impl VersionClock {
             }
             if self
                 .issued
+                // ordering: failure arm only retries with a fresh read.
                 .compare_exchange_weak(issued, issued + 1, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
@@ -80,6 +82,7 @@ impl VersionClock {
     /// Marks version `v` complete and advances the watermark over any
     /// contiguously completed prefix.
     pub fn complete(&self, v: u64) {
+        // ordering: debug sanity check; any stale read only weakens it.
         debug_assert!(v > self.fc.load(Ordering::Relaxed), "completing an already-passed version");
         self.ring[(v & self.mask) as usize].store(v, Ordering::Release);
         self.advance();

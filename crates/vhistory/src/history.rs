@@ -72,7 +72,7 @@ impl<S: Slots> History<S> {
         self.slots.persist_pending();
         let e = self.slots.entry(idx);
         debug_assert_eq!(e.done.load(Ordering::Acquire), 0, "slot reuse without recovery");
-        // Ordering: Relaxed is sound — the payload is published by the
+        // ordering: the payload is published by the
         // Release store of `done` in append_publish; readers only touch
         // these words after an Acquire load of `done` (or of `tail`, which
         // an extender CAS-released after Acquire-loading `done`).
@@ -165,6 +165,8 @@ impl<S: Slots> History<S> {
         let mut t = self.tail();
         let needs_extension = match t {
             0 => true,
+            // ordering: slot t-1 is covered by the Acquire tail load in
+            // tail(); a stale version only costs a redundant extension.
             _ => self.slots.entry(t - 1).version.load(Ordering::Relaxed) < version,
         };
         if needs_extension {
@@ -174,7 +176,7 @@ impl<S: Slots> History<S> {
             return None;
         }
         // Binary search for the highest version <= requested in [0, t).
-        // Ordering: Relaxed entry loads are sound for every slot < t: the
+        // ordering: Relaxed entry loads are sound for every slot < t: the
         // Acquire load of `tail` synchronizes with the extender's AcqRel
         // CAS, which itself Acquire-loaded each slot's Release-stored
         // `done` — a transitive happens-before edge to the payload stores.
@@ -182,18 +184,19 @@ impl<S: Slots> History<S> {
         while left <= right {
             let mid = (left + right) / 2;
             let e = self.slots.entry(mid as u64);
-            let v = e.version.load(Ordering::Relaxed);
+            let v = e.version.load(Ordering::Relaxed); // ordering: see above
             match v.cmp(&version) {
                 std::cmp::Ordering::Less => left = mid + 1,
                 std::cmp::Ordering::Greater => right = mid - 1,
                 std::cmp::Ordering::Equal => {
-                    return Some(e.value.load(Ordering::Relaxed));
+                    return Some(e.value.load(Ordering::Relaxed)); // ordering: see above
                 }
             }
         }
         if right < 0 {
             None
         } else {
+            // ordering: same argument as the block comment above.
             Some(self.slots.entry(right as u64).value.load(Ordering::Relaxed))
         }
     }
@@ -212,6 +215,8 @@ impl<S: Slots> History<S> {
         (0..t)
             .map(|i| {
                 let e = self.slots.entry(i);
+                // ordering: i < t, covered by the Acquire tail load in
+                // extend_tail (transitive happens-before via `done`).
                 HistoryRecord::from_raw(
                     e.version.load(Ordering::Relaxed),
                     e.value.load(Ordering::Relaxed),
@@ -227,6 +232,8 @@ impl<S: Slots> History<S> {
             return None;
         }
         let e = self.slots.entry(t - 1);
+        // ordering: t-1 < t, covered by the Acquire tail load in
+        // extend_tail (transitive happens-before via `done`).
         Some(HistoryRecord::from_raw(
             e.version.load(Ordering::Relaxed),
             e.value.load(Ordering::Relaxed),

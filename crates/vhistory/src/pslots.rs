@@ -24,7 +24,12 @@ pub const HISTORY_HDR_SIZE: usize = 32;
 
 const SEG_HDR_SIZE: u64 = 32;
 
-/// Opaque marker type for history header offsets.
+/// Opaque marker type for history header offsets. Zero-sized: the actual
+/// header words are accessed via explicit offsets, never through fields.
+///
+/// pm-resident: typed target of `PPtr<HistoryHdr>`; audited by
+/// `xtask analyze` against `pm_layout.lock`.
+#[repr(C)]
 pub struct HistoryHdr(());
 
 /// A handle to one key's persistent history. Cheap to construct (two words);

@@ -40,6 +40,8 @@ pub fn scan_published_prefix(h: &PHistory<'_>) -> PrefixScan {
         if done == 0 {
             break;
         }
+        // ordering: `done` was Acquire-loaded above; the stamp check
+        // below rejects any torn or unpublished value anyway.
         let version = e.version.load(Ordering::Relaxed);
         if done != version + 1 || (idx > 0 && version <= last) {
             break; // inconsistent stamp — treat as torn

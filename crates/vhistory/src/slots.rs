@@ -15,6 +15,9 @@ pub const ENTRY_SIZE: usize = 24;
 /// (Release), so observing `done != 0` (Acquire) guarantees both are valid.
 /// `done` stores `version + 1` — the paper's non-zero "finished" stamp,
 /// which recovery uses to find the durable contiguous prefix.
+///
+/// pm-resident: cast onto pool bytes by `PHistory` segments; audited by
+/// `xtask analyze` against `pm_layout.lock`.
 #[repr(C)]
 pub struct Entry {
     pub version: AtomicU64,
@@ -31,6 +34,8 @@ impl Entry {
         if self.done.load(Ordering::Acquire) == 0 {
             return None;
         }
+        // ordering: the Acquire load of `done` above synchronizes with
+        // the Release publish, so the payload words are stable.
         Some((self.version.load(Ordering::Relaxed), self.value.load(Ordering::Relaxed)))
     }
 }

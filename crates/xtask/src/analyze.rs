@@ -1,0 +1,560 @@
+//! The multi-pass analyzer driver: `cargo run -p xtask -- analyze`.
+//!
+//! Five passes share one parsed-file cache (each source file is read,
+//! stripped and token-tree-parsed at most once, no matter how many passes
+//! look at it — satellite (f) of PR 5):
+//!
+//! 1. `facade`          — no direct `std::sync::atomic` / `std::thread` in
+//!    concurrency-critical crates ([`crate::lint::check_facade`]).
+//! 2. `safety-comment`  — `unsafe` blocks/impls need `// SAFETY:`
+//!    ([`crate::lint::check_safety_comments`]).
+//! 3. `persist-ordering`— branch-aware dataflow: every dirty PM write must
+//!    be flushed on every path to every function exit ([`crate::cfg`]).
+//! 4. `pm-layout`       — PM-resident types are repr(C)/repr(transparent),
+//!    contain no ephemeral field types, and match the checked-in
+//!    fingerprints in `pm_layout.lock` ([`crate::layout`]).
+//! 5. `atomic-ordering` — every `Ordering::Relaxed` in audited crates
+//!    carries an `// ordering:` justification ([`crate::ordering`]).
+//!
+//! Findings can be suppressed via `crates/xtask/suppressions.txt`; every
+//! suppression carries a reason and an expiry date, and expired or unused
+//! suppressions are themselves findings, so the file can only shrink unless
+//! a human re-argues each entry.
+
+use std::cell::OnceCell;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::lexer::{self, Tree};
+use crate::lint::{self, in_spans};
+use crate::{cfg, layout, ordering};
+
+/// Crates whose `src/` must go through the `mvkv-sync` facade (loom-swapped
+/// atomics). Mirrors the original lint's FACADE_CRATES.
+const FACADE_DIRS: &[&str] = &["crates/skiplist/src", "crates/vhistory/src", "crates/pmem/src"];
+
+/// Crates whose functions the persist-ordering dataflow analyzes: everything
+/// that issues dirty PM writes directly or through a pool handle.
+const PERSIST_DIRS: &[&str] =
+    &["crates/pmem/src", "crates/vhistory/src", "crates/keychain/src", "crates/core/src"];
+
+/// Crates audited for unjustified `Ordering::Relaxed` (shared skiplist /
+/// version-history / allocator state).
+const ORDERING_DIRS: &[&str] = &["crates/skiplist/src", "crates/vhistory/src", "crates/pmem/src"];
+
+/// Golden layout-fingerprint file, repo-relative.
+pub const LOCK_PATH: &str = "crates/xtask/pm_layout.lock";
+
+/// Suppression file, repo-relative.
+pub const SUPPRESSIONS_PATH: &str = "crates/xtask/suppressions.txt";
+
+// ---------------------------------------------------------------------------
+// Shared file cache
+// ---------------------------------------------------------------------------
+
+/// One source file, with lazily computed derived forms. Every pass pulls
+/// from here, so stripping and token-tree parsing happen at most once per
+/// file per run.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (stable across OSes, used in
+    /// findings, the lock file and suppressions).
+    pub rel: String,
+    pub path: PathBuf,
+    pub src: String,
+    stripped: OnceCell<String>,
+    spans: OnceCell<Vec<(usize, usize)>>,
+    trees: OnceCell<Vec<Tree>>,
+}
+
+impl SourceFile {
+    pub fn stripped(&self) -> &str {
+        self.stripped.get_or_init(|| lint::strip(&self.src))
+    }
+
+    pub fn test_spans(&self) -> &[(usize, usize)] {
+        self.spans.get_or_init(|| lint::test_spans(self.stripped()))
+    }
+
+    pub fn trees(&self) -> &[Tree] {
+        self.trees.get_or_init(|| lexer::parse(&self.src))
+    }
+}
+
+/// Loads every analyzable `.rs` file under `crates/` and `src/` once.
+/// `crates/xtask` itself is excluded: the analyzer's sources are full of the
+/// very patterns it searches for (fixture snippets, marker constants) and
+/// are covered by its own unit tests instead.
+pub fn load_files(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    for dir in ["crates", "src"] {
+        for path in lint::rust_files(&root.join(dir)) {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if rel.starts_with("crates/xtask/") {
+                continue;
+            }
+            let Ok(src) = std::fs::read_to_string(&path) else { continue };
+            out.push(SourceFile {
+                rel,
+                path,
+                src,
+                stripped: OnceCell::new(),
+                spans: OnceCell::new(),
+                trees: OnceCell::new(),
+            });
+        }
+    }
+    out
+}
+
+fn in_dirs(rel: &str, dirs: &[&str]) -> bool {
+    dirs.iter().any(|d| rel.starts_with(d))
+}
+
+// ---------------------------------------------------------------------------
+// Findings and report
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+pub struct Finding {
+    pub check: &'static str,
+    pub file: String,
+    pub line: u32,
+    /// Symbol the finding is about (e.g. `type:Entry`), empty when the
+    /// check is positional rather than symbol-scoped.
+    pub symbol: String,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.check, self.msg)
+    }
+}
+
+pub struct PassStat {
+    pub name: &'static str,
+    pub millis: u128,
+    pub findings: usize,
+}
+
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub passes: Vec<PassStat>,
+    pub suppressed: usize,
+    /// Number of files loaded (for the human summary line).
+    pub files: usize,
+    pub blessed: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// One parsed suppression line:
+/// `<check> <file>:<line> until=YYYY-MM-DD <reason>`.
+struct Suppression {
+    check: String,
+    file: String,
+    line: u32,
+    until_days: i64,
+    src_line: u32,
+    used: std::cell::Cell<bool>,
+}
+
+/// Days since the Unix epoch for a civil date (Howard Hinnant's
+/// `days_from_civil`, public domain algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe - 719468
+}
+
+fn today_days() -> i64 {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (secs / 86_400) as i64
+}
+
+fn parse_date(s: &str) -> Option<i64> {
+    let mut it = s.splitn(3, '-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+/// Parses the suppression file. Malformed lines become findings rather than
+/// silently granting a pass.
+fn load_suppressions(root: &Path, findings: &mut Vec<Finding>) -> Vec<Suppression> {
+    let path = root.join(SUPPRESSIONS_PATH);
+    let Ok(text) = std::fs::read_to_string(&path) else { return Vec::new() };
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let malformed = |msg: &str| Finding {
+            check: "suppressions",
+            file: SUPPRESSIONS_PATH.to_string(),
+            line: line_no,
+            symbol: String::new(),
+                    msg: format!(
+                "{msg}; expected `<check> <file>:<line> until=YYYY-MM-DD <reason>`: `{line}`"
+            ),
+        };
+        let mut parts = line.split_whitespace();
+        let (Some(check), Some(loc), Some(until)) = (parts.next(), parts.next(), parts.next())
+        else {
+            findings.push(malformed("too few fields"));
+            continue;
+        };
+        let Some((file, num)) = loc.rsplit_once(':') else {
+            findings.push(malformed("missing `:line` in location"));
+            continue;
+        };
+        let Ok(num) = num.parse::<u32>() else {
+            findings.push(malformed("location line is not a number"));
+            continue;
+        };
+        let Some(date) = until.strip_prefix("until=").and_then(parse_date) else {
+            findings.push(malformed("missing or invalid `until=YYYY-MM-DD`"));
+            continue;
+        };
+        if parts.next().is_none() {
+            findings.push(malformed("missing reason"));
+            continue;
+        }
+        out.push(Suppression {
+            check: check.to_string(),
+            file: file.to_string(),
+            line: num,
+            until_days: date,
+            src_line: line_no,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The run
+// ---------------------------------------------------------------------------
+
+pub fn run(root: &Path, bless: bool) -> Report {
+    let files = load_files(root);
+    let mut findings = Vec::new();
+    let mut passes = Vec::new();
+
+    let mut timed = |name: &'static str,
+                     findings: &mut Vec<Finding>,
+                     f: &mut dyn FnMut(&mut Vec<Finding>)| {
+        let before = findings.len();
+        let t0 = Instant::now();
+        f(findings);
+        passes.push(PassStat {
+            name,
+            millis: t0.elapsed().as_millis(),
+            findings: findings.len() - before,
+        });
+    };
+
+    // Pass 1: facade discipline.
+    timed("facade", &mut findings, &mut |findings| {
+        for sf in files.iter().filter(|f| in_dirs(&f.rel, FACADE_DIRS)) {
+            for v in lint::check_facade(&sf.path, &sf.src, sf.stripped(), sf.test_spans()) {
+                findings.push(Finding {
+                    check: "facade",
+                    file: sf.rel.clone(),
+                    line: v.line as u32,
+                    symbol: String::new(),
+                    msg: v.msg,
+                });
+            }
+        }
+    });
+
+    // Pass 2: SAFETY comments (whole workspace).
+    timed("safety-comment", &mut findings, &mut |findings| {
+        for sf in &files {
+            for v in lint::check_safety_comments(&sf.path, &sf.src, sf.stripped()) {
+                findings.push(Finding {
+                    check: "safety-comment",
+                    file: sf.rel.clone(),
+                    line: v.line as u32,
+                    symbol: String::new(),
+                    msg: v.msg,
+                });
+            }
+        }
+    });
+
+    // Pass 3: persist-ordering dataflow.
+    timed("persist-ordering", &mut findings, &mut |findings| {
+        for sf in files.iter().filter(|f| in_dirs(&f.rel, PERSIST_DIRS)) {
+            let spans = sf.test_spans().to_vec();
+            for func in cfg::functions(sf.trees()) {
+                if in_spans(&spans, func.off) {
+                    continue;
+                }
+                for exit in cfg::dirty_exits(&func.body, func.end_line) {
+                    findings.push(Finding {
+                        check: "persist-ordering",
+                        file: sf.rel.clone(),
+                        line: exit.write_line,
+                        symbol: String::new(),
+                    msg: exit.describe(&func.name),
+                    });
+                }
+            }
+        }
+    });
+
+    // Pass 4: PM layout audit + golden fingerprints.
+    let mut blessed = false;
+    timed("pm-layout", &mut findings, &mut |findings| {
+        let mut all = Vec::new();
+        for sf in &files {
+            all.extend(layout::structs(&sf.rel, sf.trees()));
+        }
+        let (pm, layout_findings) = layout::audit(&all);
+        for f in layout_findings {
+            findings.push(Finding {
+                check: "pm-layout",
+                file: f.file,
+                line: f.line,
+                symbol: f.symbol,
+                msg: f.msg,
+            });
+        }
+        if bless {
+            let rendered = layout::render_lock(&pm);
+            if std::fs::write(root.join(LOCK_PATH), rendered).is_ok() {
+                blessed = true;
+            } else {
+                findings.push(Finding {
+                    check: "pm-layout",
+                    file: LOCK_PATH.to_string(),
+                    line: 0,
+                    symbol: String::new(),
+                    msg: "failed to write the lock file".to_string(),
+                });
+            }
+        } else {
+            let lock = std::fs::read_to_string(root.join(LOCK_PATH)).ok();
+            for f in layout::diff_lock(&pm, lock.as_deref()) {
+                findings.push(Finding {
+                    check: "pm-layout",
+                    file: f.file,
+                    line: f.line,
+                    symbol: String::new(),
+                    msg: f.msg,
+                });
+            }
+        }
+    });
+
+    // Pass 5: atomic-ordering audit.
+    timed("atomic-ordering", &mut findings, &mut |findings| {
+        for sf in files.iter().filter(|f| in_dirs(&f.rel, ORDERING_DIRS)) {
+            for f in ordering::check_relaxed(&sf.src, sf.stripped(), sf.test_spans()) {
+                findings.push(Finding {
+                    check: "atomic-ordering",
+                    file: sf.rel.clone(),
+                    line: f.line,
+                    symbol: String::new(),
+                    msg: f.msg,
+                });
+            }
+        }
+    });
+
+    // Suppressions: drop matching findings, flag expired/unused entries.
+    let suppressions = load_suppressions(root, &mut findings);
+    let today = today_days();
+    let before = findings.len();
+    findings.retain(|f| {
+        !suppressions.iter().any(|s| {
+            let hit =
+                s.check == f.check && s.file == f.file && s.line == f.line && s.until_days >= today;
+            if hit {
+                s.used.set(true);
+            }
+            hit
+        })
+    });
+    let suppressed = before - findings.len();
+    for s in &suppressions {
+        if s.until_days < today {
+            findings.push(Finding {
+                check: "suppressions",
+                file: SUPPRESSIONS_PATH.to_string(),
+                line: s.src_line,
+                symbol: String::new(),
+                    msg: format!(
+                    "suppression for {}:{} [{}] has expired — fix the finding or re-argue \
+                     the entry with a new expiry",
+                    s.file, s.line, s.check
+                ),
+            });
+        } else if !s.used.get() {
+            findings.push(Finding {
+                check: "suppressions",
+                file: SUPPRESSIONS_PATH.to_string(),
+                line: s.src_line,
+                symbol: String::new(),
+                    msg: format!(
+                    "suppression for {}:{} [{}] matched nothing — the finding is gone, \
+                     delete the entry",
+                    s.file, s.line, s.check
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.check).cmp(&(&b.file, b.line, b.check)));
+    Report { findings, passes, suppressed, files: files.len(), blessed }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+pub fn render_human(r: &Report) -> String {
+    let mut out = String::new();
+    for f in &r.findings {
+        let _ = writeln!(out, "{f}");
+    }
+    for p in &r.passes {
+        let _ = writeln!(
+            out,
+            "xtask analyze: pass {:<16} {:>4} finding(s) in {:>4} ms",
+            p.name, p.findings, p.millis
+        );
+    }
+    if r.blessed {
+        let _ = writeln!(out, "xtask analyze: wrote {LOCK_PATH}");
+    }
+    let _ = writeln!(
+        out,
+        "xtask analyze: {} file(s), {} finding(s), {} suppressed",
+        r.files,
+        r.findings.len(),
+        r.suppressed
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report for the CI artifact. Hand-rolled: the workspace
+/// builds offline and xtask deliberately has no dependencies.
+pub fn render_json(r: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"passes\": [\n");
+    for (i, p) in r.passes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"findings\": {}, \"millis\": {}}}{}",
+            p.name,
+            p.findings,
+            p.millis,
+            if i + 1 < r.passes.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"findings\": [\n");
+    for (i, f) in r.findings.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"check\": \"{}\", \"file\": \"{}\", \"line\": {}, \"symbol\": \"{}\", \
+             \"msg\": \"{}\"}}{}",
+            json_escape(f.check),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.symbol),
+            json_escape(&f.msg),
+            if i + 1 < r.findings.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"files\": {},\n  \"suppressed\": {}\n}}\n",
+        r.files, r.suppressed
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates_map_to_epoch_days() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(2000, 3, 1), 11017);
+        assert_eq!(days_from_civil(2026, 8, 6), 20671);
+        assert!(parse_date("2026-08-06").is_some());
+        assert!(parse_date("2026-13-06").is_none());
+        assert!(parse_date("not-a-date").is_none());
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+    }
+
+    #[test]
+    fn suppression_lines_parse_and_misparse() {
+        let dir = std::env::temp_dir().join(format!("xtask-sup-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("crates/xtask")).unwrap();
+        std::fs::write(
+            dir.join(SUPPRESSIONS_PATH),
+            "# comment\n\
+             persist-ordering crates/vhistory/src/x.rs:10 until=2099-01-01 tracked in #42\n\
+             bad-line-without-fields\n\
+             facade crates/pmem/src/y.rs:notanumber until=2099-01-01 reason\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        let sups = load_suppressions(&dir, &mut findings);
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].check, "persist-ordering");
+        assert_eq!(sups[0].line, 10);
+        assert_eq!(findings.len(), 2, "both malformed lines flagged: {findings:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,852 @@
+//! Statement-level control-flow graphs and the persist-ordering dataflow
+//! pass.
+//!
+//! The invariant being checked (paper §IV-A / Algorithm 1): a function that
+//! dirties persistent memory through [`write_u64`]/[`write_bytes`] must reach
+//! a `persist`/`flush`/`fence` call after its last dirty write **on every
+//! control-flow path** before returning. The retired line-scanning lint
+//! compared the positions of the *textually last* write and flush tokens, so
+//!
+//! ```text
+//! pool.write_u64(off, v);
+//! if cfg.eager { pool.persist(off, 8); }   // flush on ONE path only
+//! ```
+//!
+//! passed even though the `!eager` path publishes dirty data. This pass
+//! parses each function body into a small branch/loop/exit AST and runs a
+//! two-point dataflow (clean ⊑ dirty) over it, so the snippet above is a
+//! violation while per-arm flushes, early returns before the first write and
+//! loops that persist each iteration all check precisely.
+//!
+//! Deliberate parity with the old lint where address tracking would be
+//! needed: *any* flush call clears the dirty state (the pass does not prove
+//! the flushed range covers the written range), and panicking paths carry no
+//! obligation — a panic is equivalent to a crash, which recovery already
+//! handles.
+
+use crate::lexer::{Tree, TokKind};
+
+/// Names treated as dirtying persistent memory when called.
+const DIRTY_CALLS: &[&str] = &["write_u64", "write_bytes"];
+
+/// Macros whose invocation ends the path with no persist obligation.
+const ABORT_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// True for callee names that flush or order persistent stores. Matched
+/// structurally (prefix/suffix), not by substring, so `fence_count()` — a
+/// getter — is *not* a flush.
+fn is_flush_name(name: &str) -> bool {
+    name == "persist"
+        || name.starts_with("persist_")
+        || name == "flush"
+        || name.ends_with("_flush")
+        || name == "fence"
+        || name.ends_with("_fence")
+        || name == "sync_all"
+}
+
+fn is_dirty_name(name: &str) -> bool {
+    DIRTY_CALLS.contains(&name)
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// Explicit `return`.
+    Return,
+    /// `?` early exit.
+    Try,
+    /// Fall-through at the end of the body.
+    Implicit,
+}
+
+impl ExitKind {
+    fn describe(self) -> &'static str {
+        match self {
+            ExitKind::Return => "`return`",
+            ExitKind::Try => "`?` early exit",
+            ExitKind::Implicit => "fall-through return",
+        }
+    }
+}
+
+#[derive(Debug)]
+pub enum Node {
+    Seq(Vec<Node>),
+    /// A dirty PM write; carries line and callee name for reporting.
+    Write { line: u32 },
+    /// A persist/flush/fence call.
+    Flush,
+    /// Mutually exclusive alternatives (if/else, match arms). An absent
+    /// `else` contributes an empty alternative.
+    Branch(Vec<Node>),
+    /// Body executed zero or more times (loops, closures).
+    Loop(Box<Node>),
+    Exit { kind: ExitKind, line: u32 },
+    /// panic!-like: the path ends with no obligation.
+    Abort,
+    Break,
+    Continue,
+}
+
+/// One analyzed function.
+pub struct FnInfo {
+    pub name: String,
+    /// Byte offset of the `fn` keyword (for `#[cfg(test)]` span filtering).
+    pub off: usize,
+    /// Last source line of the body (for implicit-exit reporting).
+    pub end_line: u32,
+    pub body: Node,
+}
+
+// ---------------------------------------------------------------------------
+// Function discovery
+// ---------------------------------------------------------------------------
+
+/// Finds every `fn` with a body, at any nesting depth (impls, mods, nested
+/// fns). Each function's body is parsed into its effect AST.
+pub fn functions(trees: &[Tree]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    collect_fns(trees, &mut out);
+    out
+}
+
+fn collect_fns(trees: &[Tree], out: &mut Vec<FnInfo>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if trees[i].ident() == Some("fn") {
+            if let Some((name, off)) = trees.get(i + 1).and_then(|t| match t {
+                Tree::Leaf(tok) if tok.kind == TokKind::Ident => {
+                    Some((tok.text.clone(), trees[i].off()))
+                }
+                _ => None,
+            }) {
+                // Body: first `{` group before a `;` at this level.
+                let mut j = i + 2;
+                let mut body = None;
+                while j < trees.len() {
+                    match &trees[j] {
+                        Tree::Group(g) if g.delim == '{' => {
+                            body = Some(g);
+                            break;
+                        }
+                        Tree::Leaf(t) if t.kind == TokKind::Punct && t.text == ";" => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(g) = body {
+                    out.push(FnInfo {
+                        name,
+                        off,
+                        end_line: body_end_line(&g.trees).max(g.line),
+                        body: parse_seq(&g.trees),
+                    });
+                }
+                i = j.min(trees.len().saturating_sub(1)); // recursed into below
+            }
+        }
+        if let Tree::Group(g) = &trees[i] {
+            collect_fns(&g.trees, out);
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body parsing
+// ---------------------------------------------------------------------------
+
+/// Item-introducing keywords inside a body whose tokens are *not* executed
+/// at this point (nested items run when called/used, not here).
+const ITEM_KEYWORDS: &[&str] =
+    &["fn", "struct", "enum", "impl", "trait", "mod", "union", "macro_rules", "use", "type"];
+
+fn parse_seq(trees: &[Tree]) -> Node {
+    let mut nodes = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        i = parse_one(trees, i, &mut nodes);
+    }
+    Node::Seq(nodes)
+}
+
+/// Parses one construct starting at `i`, pushing nodes; returns the next
+/// index.
+fn parse_one(trees: &[Tree], i: usize, nodes: &mut Vec<Node>) -> usize {
+    let t = &trees[i];
+    if let Some(kw) = t.ident() {
+        match kw {
+            "if" => return parse_if(trees, i, nodes),
+            "match" => return parse_match(trees, i, nodes),
+            "while" | "for" => {
+                // Header (condition / iterator expr) executes at least once.
+                let (hdr_end, body) = until_brace(trees, i + 1);
+                let mut hdr = Vec::new();
+                let mut k = i + 1;
+                while k < hdr_end {
+                    k = parse_one(trees, k, &mut hdr);
+                }
+                nodes.push(Node::Seq(hdr));
+                if let Some(g) = body {
+                    nodes.push(Node::Loop(Box::new(parse_seq(&g.trees))));
+                    return hdr_end + 1;
+                }
+                return hdr_end;
+            }
+            "loop" => {
+                if let Some(Tree::Group(g)) = trees.get(i + 1) {
+                    if g.delim == '{' {
+                        nodes.push(Node::Loop(Box::new(parse_seq(&g.trees))));
+                        return i + 2;
+                    }
+                }
+                return i + 1;
+            }
+            "return" => {
+                // Effects in the returned expression happen before the exit.
+                let mut j = i + 1;
+                let mut expr = Vec::new();
+                while j < trees.len() && trees[j].punct() != Some(";") {
+                    j = parse_one(trees, j, &mut expr);
+                }
+                nodes.push(Node::Seq(expr));
+                nodes.push(Node::Exit { kind: ExitKind::Return, line: t.line() });
+                return j;
+            }
+            "break" | "continue" => {
+                let mut j = i + 1;
+                let mut expr = Vec::new();
+                while j < trees.len() && trees[j].punct() != Some(";") {
+                    j = parse_one(trees, j, &mut expr);
+                }
+                nodes.push(Node::Seq(expr));
+                nodes.push(if kw == "break" { Node::Break } else { Node::Continue });
+                return j;
+            }
+            "unsafe" => return i + 1, // transparent; the block follows
+            "move" => {
+                // `move |…| …` — let the closure arm below see the pipe.
+                if trees.get(i + 1).and_then(Tree::punct).is_some_and(|p| p == "|" || p == "||") {
+                    return parse_closure(trees, i + 1, nodes);
+                }
+                return i + 1;
+            }
+            _ if ITEM_KEYWORDS.contains(&kw) => {
+                // Skip the whole nested item: through its body group or `;`.
+                // (Nested fns are still discovered by collect_fns.)
+                let mut j = i + 1;
+                while j < trees.len() {
+                    match &trees[j] {
+                        Tree::Group(g) if g.delim == '{' => return j + 1,
+                        Tree::Leaf(tk) if tk.kind == TokKind::Punct && tk.text == ";" => {
+                            return j + 1
+                        }
+                        _ => j += 1,
+                    }
+                }
+                return j;
+            }
+            name if ABORT_MACROS.contains(&name)
+                && trees.get(i + 1).and_then(Tree::punct) == Some("!") =>
+            {
+                // panic!(…): scan args (format side effects are irrelevant),
+                // then the path ends.
+                let mut j = i + 2;
+                if trees.get(j).and_then(Tree::group).is_some() {
+                    j += 1;
+                }
+                nodes.push(Node::Abort);
+                return j;
+            }
+            name if is_dirty_name(name) || is_flush_name(name) => {
+                // A call requires an argument group right after the name.
+                if let Some(Tree::Group(g)) = trees.get(i + 1) {
+                    if g.delim == '(' {
+                        // Args evaluate first.
+                        nodes.push(parse_seq(&g.trees));
+                        if is_dirty_name(name) {
+                            nodes.push(Node::Write { line: t.line() });
+                        } else {
+                            nodes.push(Node::Flush);
+                        }
+                        return i + 2;
+                    }
+                }
+                return i + 1;
+            }
+            _ => return i + 1,
+        }
+    }
+    if let Some(p) = t.punct() {
+        match p {
+            "?" => {
+                nodes.push(Node::Exit { kind: ExitKind::Try, line: t.line() });
+                return i + 1;
+            }
+            "|" | "||" if closure_position(trees, i) => return parse_closure(trees, i, nodes),
+            _ => return i + 1,
+        }
+    }
+    if let Some(g) = t.group() {
+        nodes.push(parse_seq(&g.trees));
+        return i + 1;
+    }
+    i + 1
+}
+
+/// Heuristic: a `|` token opens a closure when it starts an expression —
+/// beginning of a group / statement, or right after a token that cannot end
+/// an operand.
+fn closure_position(trees: &[Tree], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    match &trees[i - 1] {
+        Tree::Leaf(t) => match t.kind {
+            TokKind::Punct => {
+                matches!(t.text.as_str(), "," | ";" | "=" | "=>" | ":" | "&&" | "||" | "(")
+            }
+            TokKind::Ident => matches!(t.text.as_str(), "return" | "move" | "else"),
+            _ => false,
+        },
+        Tree::Group(_) => false, // `(a) | b` is a bit-or
+    }
+}
+
+/// Parses `|args| body` (or `|| body`). The body may run zero or more
+/// times, so it is modeled as a loop.
+fn parse_closure(trees: &[Tree], i: usize, nodes: &mut Vec<Node>) -> usize {
+    let mut j = i;
+    if trees[j].punct() == Some("|") {
+        // Find the closing pipe at this level.
+        j += 1;
+        while j < trees.len() && trees[j].punct() != Some("|") {
+            j += 1;
+        }
+        if j >= trees.len() {
+            return i + 1; // stray pipe; treat as bit-or
+        }
+        j += 1; // past closing |
+    } else {
+        j += 1; // `||` empty arg list
+    }
+    // Optional `-> Type` return annotation before the body.
+    if trees.get(j).and_then(Tree::punct) == Some("->") {
+        j += 1;
+        while j < trees.len() {
+            match &trees[j] {
+                Tree::Group(g) if g.delim == '{' => break,
+                _ => j += 1,
+            }
+        }
+    }
+    let mut body = Vec::new();
+    if let Some(Tree::Group(g)) = trees.get(j) {
+        if g.delim == '{' {
+            body.push(parse_seq(&g.trees));
+            nodes.push(Node::Loop(Box::new(Node::Seq(body))));
+            return j + 1;
+        }
+    }
+    // Expression body: up to a top-level `,` or `;` or end of slice.
+    while j < trees.len() {
+        if matches!(trees[j].punct(), Some(",") | Some(";")) {
+            break;
+        }
+        j = parse_one(trees, j, &mut body);
+    }
+    nodes.push(Node::Loop(Box::new(Node::Seq(body))));
+    j
+}
+
+/// Returns (index of the body group, the group) scanning from `from`: the
+/// first `{` group at this level. Everything before it is the header.
+fn until_brace(trees: &[Tree], from: usize) -> (usize, Option<&crate::lexer::Group>) {
+    let mut j = from;
+    while j < trees.len() {
+        if let Tree::Group(g) = &trees[j] {
+            if g.delim == '{' {
+                return (j, Some(g));
+            }
+        }
+        j += 1;
+    }
+    (j, None)
+}
+
+fn parse_if(trees: &[Tree], i: usize, nodes: &mut Vec<Node>) -> usize {
+    // Condition effects run unconditionally.
+    let (body_at, body) = until_brace(trees, i + 1);
+    let mut cond = Vec::new();
+    let mut k = i + 1;
+    while k < body_at {
+        k = parse_one(trees, k, &mut cond);
+    }
+    nodes.push(Node::Seq(cond));
+    let Some(g) = body else { return body_at };
+    let then_node = parse_seq(&g.trees);
+    let mut j = body_at + 1;
+    let mut alts = vec![then_node];
+    if trees.get(j).and_then(Tree::ident) == Some("else") {
+        if trees.get(j + 1).and_then(Tree::ident) == Some("if") {
+            let mut chained = Vec::new();
+            j = parse_if(trees, j + 1, &mut chained);
+            alts.push(Node::Seq(chained));
+        } else if let Some(Tree::Group(g2)) = trees.get(j + 1) {
+            if g2.delim == '{' {
+                alts.push(parse_seq(&g2.trees));
+                j += 2;
+            } else {
+                alts.push(Node::Seq(Vec::new()));
+                j += 1;
+            }
+        } else {
+            alts.push(Node::Seq(Vec::new()));
+            j += 1;
+        }
+    } else {
+        alts.push(Node::Seq(Vec::new())); // if without else: fall-through arm
+    }
+    nodes.push(Node::Branch(alts));
+    j
+}
+
+fn parse_match(trees: &[Tree], i: usize, nodes: &mut Vec<Node>) -> usize {
+    let (body_at, body) = until_brace(trees, i + 1);
+    let mut scrutinee = Vec::new();
+    let mut k = i + 1;
+    while k < body_at {
+        k = parse_one(trees, k, &mut scrutinee);
+    }
+    nodes.push(Node::Seq(scrutinee));
+    let Some(g) = body else { return body_at };
+    let arms = parse_match_arms(&g.trees);
+    if !arms.is_empty() {
+        nodes.push(Node::Branch(arms));
+    }
+    body_at + 1
+}
+
+fn parse_match_arms(trees: &[Tree]) -> Vec<Node> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        // Pattern (and optional guard) up to `=>`. Guard effects are folded
+        // into the arm — pessimistic but sound for a may-be-dirty analysis.
+        let mut pre = Vec::new();
+        while i < trees.len() && trees[i].punct() != Some("=>") {
+            i = parse_one(trees, i, &mut pre);
+        }
+        if i >= trees.len() {
+            break;
+        }
+        i += 1; // past =>
+        let mut body = Vec::new();
+        if let Some(Tree::Group(g)) = trees.get(i) {
+            if g.delim == '{' {
+                body.push(parse_seq(&g.trees));
+                i += 1;
+                if trees.get(i).and_then(Tree::punct) == Some(",") {
+                    i += 1;
+                }
+                let mut arm = pre;
+                arm.append(&mut body);
+                arms.push(Node::Seq(arm));
+                continue;
+            }
+        }
+        while i < trees.len() && trees[i].punct() != Some(",") {
+            i = parse_one(trees, i, &mut body);
+        }
+        if trees.get(i).and_then(Tree::punct) == Some(",") {
+            i += 1;
+        }
+        let mut arm = pre;
+        arm.append(&mut body);
+        arms.push(Node::Seq(arm));
+    }
+    arms
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow
+// ---------------------------------------------------------------------------
+
+/// Path state: `None` = clean, `Some(line)` = dirty since the write at
+/// `line`.
+type St = Option<u32>;
+
+fn merge(a: St, b: St) -> St {
+    a.or(b)
+}
+
+#[derive(Default)]
+struct Flow {
+    /// State at normal fall-through (None if the path diverges).
+    out: Option<St>,
+    /// (kind, exit line, state at exit).
+    exits: Vec<(ExitKind, u32, St)>,
+    breaks: Vec<St>,
+    continues: Vec<St>,
+}
+
+fn eval(n: &Node, st: St) -> Flow {
+    match n {
+        Node::Seq(children) => {
+            let mut flow = Flow { out: Some(st), ..Default::default() };
+            for c in children {
+                let Some(cur) = flow.out else { break };
+                let f = eval(c, cur);
+                flow.exits.extend(f.exits);
+                flow.breaks.extend(f.breaks);
+                flow.continues.extend(f.continues);
+                flow.out = f.out;
+            }
+            flow
+        }
+        Node::Write { line, .. } => Flow { out: Some(Some(*line)), ..Default::default() },
+        Node::Flush => Flow { out: Some(None), ..Default::default() },
+        Node::Branch(alts) => {
+            let mut flow = Flow::default();
+            let mut out: Option<St> = None;
+            for a in alts {
+                let f = eval(a, st);
+                flow.exits.extend(f.exits);
+                flow.breaks.extend(f.breaks);
+                flow.continues.extend(f.continues);
+                out = match (out, f.out) {
+                    (None, o) => o,
+                    (o, None) => o,
+                    (Some(x), Some(y)) => Some(merge(x, y)),
+                };
+            }
+            flow.out = out;
+            flow
+        }
+        Node::Loop(body) => {
+            // Two-pass fixpoint: the lattice has height 2, so evaluating the
+            // body once more from the widened entry state reaches it.
+            let first = eval(body, st);
+            let mut widened = st;
+            if let Some(o) = first.out {
+                widened = merge(widened, o);
+            }
+            for c in &first.continues {
+                widened = merge(widened, *c);
+            }
+            let second = eval(body, widened);
+            let mut flow = Flow::default();
+            flow.exits.extend(second.exits);
+            // Loop exit: zero iterations, normal body fall-through, or break.
+            let mut out = st;
+            if let Some(o) = second.out {
+                out = merge(out, o);
+            }
+            for b in &second.breaks {
+                out = merge(out, *b);
+            }
+            flow.out = Some(out);
+            flow
+        }
+        Node::Exit { kind, line } => match kind {
+            // `?` continues on the success path.
+            ExitKind::Try => Flow {
+                out: Some(st),
+                exits: vec![(*kind, *line, st)],
+                ..Default::default()
+            },
+            _ => Flow { out: None, exits: vec![(*kind, *line, st)], ..Default::default() },
+        },
+        Node::Abort => Flow { out: None, ..Default::default() },
+        Node::Break => Flow { out: None, breaks: vec![st], ..Default::default() },
+        Node::Continue => Flow { out: None, continues: vec![st], ..Default::default() },
+    }
+}
+
+/// One dirty-exit violation within a function.
+#[derive(Debug)]
+pub struct DirtyExit {
+    /// Line of the unflushed dirty write.
+    pub write_line: u32,
+    /// Line where the dirty path leaves the function.
+    pub exit_line: u32,
+    pub kind: ExitKind,
+}
+
+impl DirtyExit {
+    pub fn describe(&self, fn_name: &str) -> String {
+        format!(
+            "fn `{fn_name}`: the dirty PM write at line {} can reach the {} at line {} \
+             without a persist/flush/fence on that path; flush on every path before \
+             publication (or suppress with rationale + expiry in the suppression file)",
+            self.write_line,
+            self.kind.describe(),
+            self.exit_line
+        )
+    }
+}
+
+/// Runs the dataflow over one function body. `end_line` is used as the line
+/// of the implicit fall-through exit.
+pub fn dirty_exits(body: &Node, end_line: u32) -> Vec<DirtyExit> {
+    let flow = eval(body, None);
+    let mut out = Vec::new();
+    for (kind, line, st) in flow.exits {
+        if let Some(write_line) = st {
+            out.push(DirtyExit { write_line, exit_line: line, kind });
+        }
+    }
+    if let Some(Some(write_line)) = flow.out {
+        out.push(DirtyExit { write_line, exit_line: end_line, kind: ExitKind::Implicit });
+    }
+    // One report per write site is enough signal.
+    out.sort_by_key(|d| (d.write_line, d.exit_line));
+    out.dedup_by_key(|d| d.write_line);
+    out
+}
+
+/// Last line of a function body (for implicit-exit reporting): the max line
+/// of any token in it.
+pub fn body_end_line(trees: &[Tree]) -> u32 {
+    fn walk(trees: &[Tree], max: &mut u32) {
+        for t in trees {
+            match t {
+                Tree::Leaf(tok) => *max = (*max).max(tok.line),
+                Tree::Group(g) => {
+                    *max = (*max).max(g.line);
+                    walk(&g.trees, max);
+                }
+            }
+        }
+    }
+    let mut max = 0;
+    walk(trees, &mut max);
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::parse;
+
+    fn analyze(src: &str) -> Vec<(String, Vec<DirtyExit>)> {
+        let trees = parse(src);
+        functions(&trees)
+            .into_iter()
+            .map(|f| {
+                let exits = dirty_exits(&f.body, 9999);
+                (f.name, exits)
+            })
+            .collect()
+    }
+
+    fn violations(src: &str) -> usize {
+        analyze(src).iter().map(|(_, v)| v.len()).sum()
+    }
+
+    #[test]
+    fn straight_line_good_and_bad() {
+        assert_eq!(violations("fn good(p: &Pool) { p.write_u64(0, 1); p.persist(0, 8); }"), 0);
+        assert_eq!(violations("fn bad(p: &Pool) { p.write_u64(0, 1); }"), 1);
+        // Flush *before* the write does not cover it.
+        assert_eq!(violations("fn sneaky(p: &Pool) { p.persist(0, 8); p.write_u64(0, 1); }"), 1);
+    }
+
+    #[test]
+    fn branch_dependent_missing_fence_is_caught() {
+        // The seeded-bad fixture the old line scanner passed: a flush on one
+        // branch only, textually after the write.
+        let src = "fn bad(p: &Pool, eager: bool) {
+            p.write_u64(0, 1);
+            if eager { p.persist(0, 8); }
+        }";
+        assert_eq!(violations(src), 1, "only one branch flushes");
+        let src_ok = "fn good(p: &Pool, eager: bool) {
+            p.write_u64(0, 1);
+            if eager { p.persist(0, 8); } else { p.flush(0, 8); }
+        }";
+        assert_eq!(violations(src_ok), 0);
+    }
+
+    #[test]
+    fn match_arms_must_all_flush() {
+        let bad = "fn f(p: &Pool, m: Mode) {
+            p.write_u64(0, 1);
+            match m {
+                Mode::A => p.persist(0, 8),
+                Mode::B => { p.persist(0, 8); }
+                Mode::C => {}
+            }
+        }";
+        assert_eq!(violations(bad), 1, "arm C leaks dirty state");
+        let good = "fn f(p: &Pool, m: Mode) {
+            p.write_u64(0, 1);
+            match m {
+                Mode::A => p.persist(0, 8),
+                _ => { p.fence(); }
+            }
+        }";
+        assert_eq!(violations(good), 0);
+    }
+
+    #[test]
+    fn early_return_paths() {
+        // Return before any write: clean.
+        let ok = "fn f(p: &Pool, skip: bool) {
+            if skip { return; }
+            p.write_u64(0, 1);
+            p.persist(0, 8);
+        }";
+        assert_eq!(violations(ok), 0);
+        // Return after a write, before the flush: dirty exit.
+        let bad = "fn f(p: &Pool, early: bool) {
+            p.write_u64(0, 1);
+            if early { return; }
+            p.persist(0, 8);
+        }";
+        assert_eq!(violations(bad), 1);
+        // A flush inside the early-return branch fixes it.
+        let fixed = "fn f(p: &Pool, early: bool) {
+            p.write_u64(0, 1);
+            if early { p.fence(); return; }
+            p.persist(0, 8);
+        }";
+        assert_eq!(violations(fixed), 0);
+    }
+
+    #[test]
+    fn try_operator_is_an_exit() {
+        let bad = "fn f(p: &Pool) -> Result<()> {
+            p.write_u64(0, 1);
+            let x = p.alloc(8)?;
+            p.persist(0, 8);
+            Ok(())
+        }";
+        assert_eq!(violations(bad), 1, "`?` can leave with the write unflushed");
+        let ok = "fn f(p: &Pool) -> Result<()> {
+            let x = p.alloc(8)?;
+            p.write_u64(x, 1);
+            p.persist(x, 8);
+            Ok(())
+        }";
+        assert_eq!(violations(ok), 0);
+    }
+
+    #[test]
+    fn loops_and_breaks() {
+        // Flush each iteration right after the write: the loop body never
+        // ends dirty, so the fall-through is clean.
+        let ok = "fn f(p: &Pool) {
+            for i in 0..4 { p.write_u64(i, 1); p.persist(i, 8); }
+        }";
+        assert_eq!(violations(ok), 0);
+        // Write in the loop, flush only after it: body fall-through is
+        // dirty but the post-loop flush covers every path.
+        let ok2 = "fn f(p: &Pool) {
+            for i in 0..4 { p.write_u64(i, 1); }
+            p.fence();
+        }";
+        assert_eq!(violations(ok2), 0);
+        // Break carries the dirty state past the post-body flush.
+        let bad = "fn f(p: &Pool, n: u64) {
+            loop {
+                p.write_u64(0, 1);
+                if n > 0 { break; }
+                p.persist(0, 8);
+            }
+        }";
+        assert_eq!(violations(bad), 1);
+    }
+
+    #[test]
+    fn panic_paths_carry_no_obligation() {
+        let ok = "fn f(p: &Pool, bad: bool) {
+            p.write_u64(0, 1);
+            if bad { panic!(\"corrupt\"); }
+            p.persist(0, 8);
+        }";
+        assert_eq!(violations(ok), 0);
+    }
+
+    #[test]
+    fn flush_name_matching_is_structural() {
+        // fence_count() is a getter, not a fence.
+        assert_eq!(violations("fn f(p: &Pool) { p.write_u64(0, 1); let _ = p.fence_count(); }"), 1);
+        // publish_fence / persist_entry / sync_all all count.
+        assert_eq!(violations("fn f(s: &S) { s.pool.write_u64(0, 1); s.publish_fence(); }"), 0);
+        assert_eq!(violations("fn f(s: &S) { s.pool.write_u64(0, 1); s.persist_entry(3); }"), 0);
+        assert_eq!(violations("fn f(p: &Pool) { p.write_u64(0, 1); p.sync_all(); }"), 0);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_confuse_the_pass() {
+        let ok = "fn f(p: &Pool) {
+            // p.write_u64(0, 1);
+            let s = \"write_u64(\";
+        }";
+        assert_eq!(violations(ok), 0);
+        let bad = "fn f(p: &Pool) {
+            p.write_u64(0, 1); // persist(0, 8) — only a comment!
+            let claim = \"persist(\";
+        }";
+        assert_eq!(violations(bad), 1);
+    }
+
+    #[test]
+    fn closure_bodies_are_zero_or_more() {
+        // A write inside a closure with no flush anywhere: dirty.
+        let bad = "fn f(p: &Pool, v: &[u64]) {
+            v.iter().for_each(|&x| { p.write_u64(x, 1); });
+        }";
+        assert_eq!(violations(bad), 1);
+        // Post-hoc fence covers whatever the closure dirtied.
+        let ok = "fn f(p: &Pool, v: &[u64]) {
+            v.iter().for_each(|&x| { p.write_u64(x, 1); });
+            p.fence();
+        }";
+        assert_eq!(violations(ok), 0);
+    }
+
+    #[test]
+    fn nested_fns_are_analyzed_separately() {
+        let src = "fn outer(p: &Pool) {
+            fn inner(p: &Pool) { p.write_u64(0, 1); }
+            p.write_u64(0, 2);
+            p.persist(0, 8);
+        }";
+        let per_fn = analyze(src);
+        assert_eq!(per_fn.len(), 2);
+        let outer = per_fn.iter().find(|(n, _)| n == "outer").unwrap();
+        let inner = per_fn.iter().find(|(n, _)| n == "inner").unwrap();
+        assert_eq!(outer.1.len(), 0, "outer flushes its own write");
+        assert_eq!(inner.1.len(), 1, "inner never flushes");
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let bad = "fn f(p: &Pool, k: u32) {
+            p.write_u64(0, 1);
+            if k == 0 { p.persist(0, 8); }
+            else if k == 1 { p.persist(0, 8); }
+        }";
+        assert_eq!(violations(bad), 1, "the final implicit else leaks");
+        let ok = "fn f(p: &Pool, k: u32) {
+            p.write_u64(0, 1);
+            if k == 0 { p.persist(0, 8); }
+            else if k == 1 { p.persist(0, 8); }
+            else { p.fence(); }
+        }";
+        assert_eq!(violations(ok), 0);
+    }
+
+    #[test]
+    fn write_inside_condition_is_seen() {
+        let bad = "fn f(p: &Pool) {
+            if p.write_u64(0, 1) == () { }
+        }";
+        assert_eq!(violations(bad), 1);
+    }
+}

@@ -1,0 +1,826 @@
+//! The PM-layout auditor.
+//!
+//! PM-resident structs — anything reached through [`PmemPool::typed`] /
+//! `PPtr::as_ref` after a pool reopen — must have a layout that is (a)
+//! compiler-independent (`repr(C)` / `repr(transparent)`) and (b) free of
+//! ephemeral machine state: no heap containers, no references, no raw
+//! pointers, no `usize` (its width is platform-dependent, and a `usize`
+//! "pointer" stored in PM dangles after remap — offsets go through the
+//! `PPtr` wrapper instead).
+//!
+//! Discovery is marker-seeded: a struct whose doc comment contains
+//! `pm-resident` (see `mvkv-pmem`'s crate docs for the convention) enters
+//! the PM set, and every workspace-defined struct named in a PM struct's
+//! field types is pulled in transitively. A struct that must deviate can
+//! carry `pm-layout-exempt(<reason>)` in its docs — it is still
+//! fingerprinted, but the repr/field rules are skipped.
+//!
+//! Each PM type's shape (kind, repr, generics, ordered `name: type` field
+//! list) is hashed into a fingerprint and compared against the checked-in
+//! golden file `pm_layout.lock`. Any drift — a reordered field, a changed
+//! type, a dropped `repr` — fails the analyze run until a human re-blesses
+//! with `cargo run -p xtask -- analyze --bless`, which is the ritual that
+//! forces the "does this break `reopen()` compatibility?" conversation.
+
+use crate::lexer::{render_type, Tok, TokKind, Tree};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Marker in a struct's docs that seeds the PM set.
+pub const RESIDENT_MARKER: &str = "pm-resident";
+/// Marker that exempts a PM struct from the repr/field rules (fingerprint
+/// still enforced). Must carry a parenthesized rationale.
+pub const EXEMPT_MARKER: &str = "pm-layout-exempt(";
+
+/// Field types with a known, stable, position-independent layout. The
+/// `mvkv-sync` atomics are `#[repr(transparent)]` over the std atomics,
+/// which are in turn transparent over their integer — documented in
+/// `crates/sync`.
+const KNOWN_LEAF: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32", "f64", "bool",
+    "AtomicU8", "AtomicU16", "AtomicU32", "AtomicU64", "PhantomData",
+];
+
+/// Type names that must never appear anywhere in a PM-resident field type.
+const FORBIDDEN_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "String", "Box", "Rc", "Arc", "Cow", "HashMap", "HashSet", "BTreeMap",
+    "BTreeSet", "Mutex", "RwLock", "RefCell", "Cell", "OsString", "PathBuf", "Instant",
+    "SystemTime", "usize", "isize", "AtomicUsize", "AtomicIsize", "AtomicPtr", "NonNull", "dyn",
+    "impl",
+];
+
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub name: String,
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// Crate directory name (e.g. `vhistory`), parsed from the path.
+    pub krate: String,
+    pub line: u32,
+    /// Raw contents of `repr(…)` attributes, e.g. `["C"]`, `["transparent"]`.
+    pub reprs: Vec<String>,
+    /// Generic parameter names (lifetimes excluded), e.g. `["T"]`.
+    pub generics: Vec<String>,
+    /// `(field name, canonical type string)` in declaration order. Tuple
+    /// struct fields are named `0`, `1`, ….
+    pub fields: Vec<(String, String)>,
+    /// Uppercase-initial identifiers appearing in field types (candidate
+    /// workspace type references for transitive discovery).
+    pub referenced: Vec<String>,
+    pub marked_resident: bool,
+    /// `Some(reason)` if the docs carry `pm-layout-exempt(reason)`.
+    pub exempt: Option<String>,
+}
+
+impl StructDef {
+    /// The canonical shape string that gets hashed. Field order, types,
+    /// repr and generics all participate; file/line do not (moving a struct
+    /// is not a layout change).
+    pub fn shape(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "struct {}", self.name);
+        if !self.generics.is_empty() {
+            let _ = write!(s, "<{}>", self.generics.join(","));
+        }
+        let repr = if self.reprs.is_empty() { "Rust".to_string() } else { self.reprs.join(",") };
+        let _ = write!(s, " repr({repr})");
+        for (n, t) in &self.fields {
+            let _ = write!(s, " {n}:{t}");
+        }
+        s
+    }
+
+    pub fn fingerprint(&self) -> String {
+        format!("{:016x}", fnv1a(self.shape().as_bytes()))
+    }
+
+    fn has_stable_repr(&self) -> bool {
+        self.reprs.iter().any(|r| {
+            let head = r.split(',').next().unwrap_or("").trim();
+            head == "C" || head == "transparent" || head.starts_with("u") || head.starts_with("i")
+        })
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Struct discovery
+// ---------------------------------------------------------------------------
+
+/// Extracts every struct definition from a parsed file.
+pub fn structs(file: &str, trees: &[Tree]) -> Vec<StructDef> {
+    let krate = file
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+        .to_string();
+    let mut out = Vec::new();
+    walk(trees, file, &krate, &mut out);
+    out
+}
+
+fn walk(trees: &[Tree], file: &str, krate: &str, out: &mut Vec<StructDef>) {
+    let mut docs: Vec<String> = Vec::new();
+    let mut attrs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Leaf(Tok { kind: TokKind::Doc, text, .. }) => {
+                docs.push(text.clone());
+                i += 1;
+            }
+            Tree::Leaf(t) if t.kind == TokKind::Punct && t.text == "#" => {
+                // #[…] outer attribute (or #![…] inner — skipped the same way).
+                let mut j = i + 1;
+                if trees.get(j).and_then(Tree::punct) == Some("!") {
+                    j += 1;
+                }
+                if let Some(Tree::Group(g)) = trees.get(j) {
+                    if g.delim == '[' {
+                        attrs.push(render_type(&g.trees));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Tree::Leaf(t) if t.kind == TokKind::Ident && t.text == "pub" => {
+                // May be followed by a (crate)/(super) qualifier group.
+                if trees.get(i + 1).and_then(Tree::group).is_some_and(|g| g.delim == '(') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Tree::Leaf(t) if t.kind == TokKind::Ident && t.text == "struct" => {
+                let (def, next) = parse_struct(trees, i, file, krate, &docs, &attrs);
+                if let Some(d) = def {
+                    out.push(d);
+                }
+                docs.clear();
+                attrs.clear();
+                i = next;
+            }
+            Tree::Group(g) => {
+                docs.clear();
+                attrs.clear();
+                if g.delim == '{' {
+                    walk(&g.trees, file, krate, out);
+                }
+                i += 1;
+            }
+            _ => {
+                docs.clear();
+                attrs.clear();
+                i += 1;
+            }
+        }
+    }
+}
+
+fn parse_struct(
+    trees: &[Tree],
+    i: usize,
+    file: &str,
+    krate: &str,
+    docs: &[String],
+    attrs: &[String],
+) -> (Option<StructDef>, usize) {
+    let Some(Tree::Leaf(name_tok)) = trees.get(i + 1) else { return (None, i + 1) };
+    if name_tok.kind != TokKind::Ident {
+        return (None, i + 1);
+    }
+    let mut j = i + 2;
+    // Generics: `<` … matching `>` at angle-depth 0. `>>` closes two.
+    let mut generics = Vec::new();
+    if trees.get(j).and_then(Tree::punct) == Some("<") {
+        let mut depth = 1i32;
+        j += 1;
+        while j < trees.len() && depth > 0 {
+            match &trees[j] {
+                Tree::Leaf(t) if t.kind == TokKind::Punct => match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                },
+                Tree::Leaf(t)
+                    if t.kind == TokKind::Ident
+                        && depth == 1
+                        && t.text.chars().next().is_some_and(char::is_uppercase) =>
+                {
+                    // Parameter names at the top level (bounds are deeper
+                    // only syntactically after `:`, but collecting extra
+                    // names is harmless — they only widen the "not a
+                    // workspace reference" set).
+                    generics.push(t.text.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Skip a `where` clause if present (fields group follows it).
+    // Body: `{…}` named, `(…)` tuple, or `;` unit.
+    let mut fields = Vec::new();
+    let mut referenced = Vec::new();
+    loop {
+        match trees.get(j) {
+            Some(Tree::Group(g)) if g.delim == '{' => {
+                parse_named_fields(&g.trees, &mut fields, &mut referenced);
+                j += 1;
+                break;
+            }
+            Some(Tree::Group(g)) if g.delim == '(' => {
+                parse_tuple_fields(&g.trees, &mut fields, &mut referenced);
+                j += 1;
+                break;
+            }
+            Some(Tree::Leaf(t)) if t.kind == TokKind::Punct && t.text == ";" => {
+                j += 1;
+                break;
+            }
+            Some(_) => j += 1,
+            None => break,
+        }
+    }
+    let doc_all = docs.join("\n");
+    let reprs = attrs
+        .iter()
+        .filter_map(|a| {
+            let a = a.trim();
+            a.strip_prefix("repr(").and_then(|r| r.strip_suffix(')')).map(str::to_string)
+        })
+        .collect();
+    let exempt = doc_all.find(EXEMPT_MARKER).map(|p| {
+        let rest = &doc_all[p + EXEMPT_MARKER.len()..];
+        rest.split(')').next().unwrap_or("").to_string()
+    });
+    (
+        Some(StructDef {
+            name: name_tok.text.clone(),
+            file: file.to_string(),
+            krate: krate.to_string(),
+            line: name_tok.line,
+            reprs,
+            generics,
+            fields,
+            referenced,
+            marked_resident: doc_all.contains(RESIDENT_MARKER),
+            exempt,
+        }),
+        j,
+    )
+}
+
+fn parse_named_fields(
+    trees: &[Tree],
+    fields: &mut Vec<(String, String)>,
+    referenced: &mut Vec<String>,
+) {
+    for chunk in split_top_commas(trees) {
+        let chunk = strip_field_prefix(chunk);
+        // name : type…
+        let Some(colon) = chunk.iter().position(|t| t.punct() == Some(":")) else { continue };
+        if colon == 0 {
+            continue;
+        }
+        let Some(name) = chunk[colon - 1].ident() else { continue };
+        let ty = &chunk[colon + 1..];
+        fields.push((name.to_string(), render_type(ty)));
+        collect_refs(ty, referenced);
+    }
+}
+
+fn parse_tuple_fields(
+    trees: &[Tree],
+    fields: &mut Vec<(String, String)>,
+    referenced: &mut Vec<String>,
+) {
+    for (idx, chunk) in split_top_commas(trees).into_iter().enumerate() {
+        let ty = strip_field_prefix(chunk);
+        if ty.is_empty() {
+            continue;
+        }
+        fields.push((idx.to_string(), render_type(ty)));
+        collect_refs(ty, referenced);
+    }
+}
+
+/// Drops leading docs/attributes/visibility from a field chunk.
+fn strip_field_prefix(mut chunk: &[Tree]) -> &[Tree] {
+    loop {
+        match chunk.first() {
+            Some(Tree::Leaf(t)) if t.kind == TokKind::Doc => chunk = &chunk[1..],
+            Some(Tree::Leaf(t)) if t.kind == TokKind::Punct && t.text == "#" => {
+                if chunk.get(1).and_then(Tree::group).is_some_and(|g| g.delim == '[') {
+                    chunk = &chunk[2..];
+                } else {
+                    chunk = &chunk[1..];
+                }
+            }
+            Some(Tree::Leaf(t)) if t.kind == TokKind::Ident && t.text == "pub" => {
+                if chunk.get(1).and_then(Tree::group).is_some_and(|g| g.delim == '(') {
+                    chunk = &chunk[2..];
+                } else {
+                    chunk = &chunk[1..];
+                }
+            }
+            _ => return chunk,
+        }
+    }
+}
+
+fn split_top_commas(trees: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    // Angle-bracket depth: commas inside `Foo<A, B>` are not field
+    // separators.
+    let mut angle = 0i32;
+    for (i, t) in trees.iter().enumerate() {
+        if let Some(p) = t.punct() {
+            match p {
+                "<" => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                "," if angle == 0 => {
+                    out.push(&trees[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < trees.len() {
+        out.push(&trees[start..]);
+    }
+    out
+}
+
+/// Collects uppercase-initial identifiers in a type position (possible
+/// workspace struct references).
+fn collect_refs(trees: &[Tree], out: &mut Vec<String>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok)
+                if tok.kind == TokKind::Ident
+                    && tok.text.chars().next().is_some_and(char::is_uppercase) =>
+            {
+                out.push(tok.text.clone());
+            }
+            Tree::Group(g) => collect_refs(&g.trees, out),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PM-set closure + rule checks
+// ---------------------------------------------------------------------------
+
+pub struct LayoutFinding {
+    pub file: String,
+    pub line: u32,
+    pub symbol: String,
+    pub msg: String,
+}
+
+/// Computes the PM-resident set (marker seeds + transitive field
+/// references) and checks the layout rules. Returns `(pm set sorted by
+/// name, rule findings)`.
+pub fn audit(all: &[StructDef]) -> (Vec<StructDef>, Vec<LayoutFinding>) {
+    let mut by_name: BTreeMap<&str, Vec<&StructDef>> = BTreeMap::new();
+    for d in all {
+        by_name.entry(&d.name).or_default().push(d);
+    }
+    let mut pm: BTreeMap<String, &StructDef> = BTreeMap::new();
+    let mut queue: Vec<&StructDef> = all.iter().filter(|d| d.marked_resident).collect();
+    let mut findings = Vec::new();
+    while let Some(d) = queue.pop() {
+        if pm.contains_key(&d.name) {
+            continue;
+        }
+        pm.insert(d.name.clone(), d);
+        for r in &d.referenced {
+            if KNOWN_LEAF.contains(&r.as_str()) || d.generics.iter().any(|g| g == r) {
+                continue;
+            }
+            let Some(cands) = by_name.get(r.as_str()) else { continue };
+            // Resolve: same crate first, else a unique global definition.
+            let resolved = cands
+                .iter()
+                .find(|c| c.krate == d.krate)
+                .copied()
+                .or(if cands.len() == 1 { Some(cands[0]) } else { None });
+            match resolved {
+                Some(c) => queue.push(c),
+                None => findings.push(LayoutFinding {
+                    file: d.file.clone(),
+                    line: d.line,
+                    symbol: format!("type:{}", d.name),
+                    msg: format!(
+                        "PM-resident `{}` references `{r}`, which has {} definitions in the \
+                         workspace — cannot resolve for layout audit; disambiguate or rename",
+                        d.name,
+                        cands.len()
+                    ),
+                }),
+            }
+        }
+    }
+    for d in pm.values() {
+        if let Some(reason) = &d.exempt {
+            if reason.trim().is_empty() {
+                findings.push(LayoutFinding {
+                    file: d.file.clone(),
+                    line: d.line,
+                    symbol: format!("type:{}", d.name),
+                    msg: format!(
+                        "`{}` carries pm-layout-exempt with an empty rationale — say why",
+                        d.name
+                    ),
+                });
+            }
+            continue; // exempt from repr/field rules, still fingerprinted
+        }
+        if !d.has_stable_repr() {
+            findings.push(LayoutFinding {
+                file: d.file.clone(),
+                line: d.line,
+                symbol: format!("type:{}", d.name),
+                msg: format!(
+                    "PM-resident `{}` has no stable repr — add #[repr(C)] or \
+                     #[repr(transparent)] so its layout survives pool reopen across \
+                     compilers, or mark it `pm-layout-exempt(<why>)`",
+                    d.name
+                ),
+            });
+        }
+        for (fname, fty) in &d.fields {
+            if let Some(bad) = forbidden_in(fty) {
+                findings.push(LayoutFinding {
+                    file: d.file.clone(),
+                    line: d.line,
+                    symbol: format!("type:{}", d.name),
+                    msg: format!(
+                        "PM-resident `{}` field `{fname}: {fty}` contains `{bad}` — ephemeral \
+                         or platform-dependent state must not live in persistent memory \
+                         (store offsets via PPtr, fixed-width ints, or atomics instead)",
+                        d.name
+                    ),
+                });
+            }
+        }
+    }
+    let pm_sorted: Vec<StructDef> = pm.into_values().cloned().collect();
+    (pm_sorted, findings)
+}
+
+/// Returns the first forbidden construct appearing in a canonical type
+/// string, if any.
+fn forbidden_in(ty: &str) -> Option<&'static str> {
+    // Identifier-boundary scan so `usize` does not match inside `u64` (it
+    // can't) or a hypothetical `Vector` type's prefix.
+    for ident in type_idents(ty) {
+        if let Some(f) = FORBIDDEN_TYPES.iter().find(|f| **f == ident) {
+            return Some(f);
+        }
+    }
+    if ty.contains('&') {
+        return Some("&");
+    }
+    if ty.contains("*const") || ty.contains("*mut") {
+        return Some("*");
+    }
+    None
+}
+
+fn type_idents(ty: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let b = ty.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i].is_ascii_alphabetic() || b[i] == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(&ty[start..i]);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lock file
+// ---------------------------------------------------------------------------
+
+/// Renders the golden file for the given PM set.
+pub fn render_lock(pm: &[StructDef]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "# pm_layout.lock — golden fingerprints of every PM-resident struct.\n\
+         # Generated by `cargo run -p xtask -- analyze --bless`. Do not edit by hand.\n\
+         #\n\
+         # A diff here means the on-media layout changed: reopening an existing\n\
+         # pool image would read garbage. Either revert the layout change or bump\n\
+         # pmem::layout::LAYOUT_VERSION, provide a migration story, and re-bless.\n\n",
+    );
+    for d in pm {
+        let _ = writeln!(s, "type {}", d.name);
+        let _ = writeln!(s, "  file {}", d.file);
+        let _ = writeln!(
+            s,
+            "  repr {}",
+            if d.reprs.is_empty() { "Rust".to_string() } else { d.reprs.join(",") }
+        );
+        for (n, t) in &d.fields {
+            let _ = writeln!(s, "  field {n}: {t}");
+        }
+        if let Some(r) = &d.exempt {
+            let _ = writeln!(s, "  exempt {r}");
+        }
+        let _ = writeln!(s, "  fingerprint {}", d.fingerprint());
+        s.push('\n');
+    }
+    s
+}
+
+/// Minimal parse of a lock file: `type name` → fingerprint (+ file for
+/// informational drift notes).
+pub fn parse_lock(text: &str) -> BTreeMap<String, (String, String)> {
+    let mut out = BTreeMap::new();
+    let mut cur: Option<String> = None;
+    let mut file = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(name) = line.strip_prefix("type ") {
+            cur = Some(name.trim().to_string());
+            file.clear();
+        } else if let Some(f) = line.strip_prefix("file ") {
+            file = f.trim().to_string();
+        } else if let Some(fp) = line.strip_prefix("fingerprint ") {
+            if let Some(name) = cur.take() {
+                out.insert(name, (fp.trim().to_string(), file.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Compares the current PM set against the lock text. `lock` of `None`
+/// means the file does not exist yet.
+pub fn diff_lock(pm: &[StructDef], lock: Option<&str>) -> Vec<LayoutFinding> {
+    let mut findings = Vec::new();
+    let Some(lock) = lock else {
+        if !pm.is_empty() {
+            findings.push(LayoutFinding {
+                file: "pm_layout.lock".into(),
+                line: 0,
+                symbol: "lock:missing".into(),
+                msg: format!(
+                    "pm_layout.lock is missing but {} PM-resident type(s) were discovered — \
+                     run `cargo run -p xtask -- analyze --bless` and commit the file",
+                    pm.len()
+                ),
+            });
+        }
+        return findings;
+    };
+    let locked = parse_lock(lock);
+    let current: BTreeSet<&str> = pm.iter().map(|d| d.name.as_str()).collect();
+    for d in pm {
+        match locked.get(&d.name) {
+            None => findings.push(LayoutFinding {
+                file: d.file.clone(),
+                line: d.line,
+                symbol: format!("type:{}", d.name),
+                msg: format!(
+                    "new PM-resident type `{}` is not in pm_layout.lock — review its layout \
+                     and re-bless",
+                    d.name
+                ),
+            }),
+            Some((fp, _)) if *fp != d.fingerprint() => findings.push(LayoutFinding {
+                file: d.file.clone(),
+                line: d.line,
+                symbol: format!("type:{}", d.name),
+                msg: format!(
+                    "layout drift in PM-resident `{}`: fingerprint {} != locked {} \
+                     (current shape: {}) — a reopened pool would misread this type; revert, \
+                     or bump LAYOUT_VERSION and re-bless",
+                    d.name,
+                    d.fingerprint(),
+                    fp,
+                    d.shape()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for name in locked.keys() {
+        if !current.contains(name.as_str()) {
+            findings.push(LayoutFinding {
+                file: "pm_layout.lock".into(),
+                line: 0,
+                symbol: format!("type:{name}"),
+                msg: format!(
+                    "locked type `{name}` is no longer discovered as PM-resident — if it was \
+                     removed deliberately, re-bless; if not, its marker was lost"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::parse;
+
+    fn defs(src: &str) -> Vec<StructDef> {
+        structs("crates/demo/src/lib.rs", &parse(src))
+    }
+
+    const GOOD: &str = "
+        /// One history slot. pm-resident — cast onto pool bytes.
+        #[repr(C)]
+        pub struct Slot { pub version: AtomicU64, pub value: AtomicU64, pub done: AtomicU64 }
+    ";
+
+    #[test]
+    fn discovery_finds_marker_and_fields() {
+        let d = defs(GOOD);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].marked_resident);
+        assert_eq!(d[0].reprs, vec!["C"]);
+        assert_eq!(
+            d[0].fields,
+            vec![
+                ("version".to_string(), "AtomicU64".to_string()),
+                ("value".to_string(), "AtomicU64".to_string()),
+                ("done".to_string(), "AtomicU64".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_repr_is_flagged() {
+        let src = "/// pm-resident\npub struct Hdr { next: u64 }";
+        let all = defs(src);
+        let (pm, findings) = audit(&all);
+        assert_eq!(pm.len(), 1);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].msg.contains("no stable repr"), "{}", findings[0].msg);
+    }
+
+    #[test]
+    fn heap_and_pointerish_fields_are_flagged() {
+        for (ty, bad) in [
+            ("Vec<u64>", "Vec"),
+            ("String", "String"),
+            ("Box<Node>", "Box"),
+            ("&'static str", "&"),
+            ("*const u8", "*"),
+            ("usize", "usize"),
+        ] {
+            let src = format!("/// pm-resident\n#[repr(C)]\nstruct H {{ f: {ty} }}");
+            let all = defs(&src);
+            let (_, findings) = audit(&all);
+            assert!(
+                findings.iter().any(|f| f.msg.contains(&format!("`{bad}`"))),
+                "{ty} should flag {bad}: {:?}",
+                findings.iter().map(|f| &f.msg).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn u64_does_not_false_positive_as_usize() {
+        let src = "/// pm-resident\n#[repr(C)]\nstruct H { a: u64, b: [u8;16] }";
+        let (_, findings) = audit(&defs(src));
+        assert!(findings.is_empty(), "{:?}", findings.iter().map(|f| &f.msg).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn transitive_reachability_pulls_field_types() {
+        let src = "
+            /// pm-resident root
+            #[repr(C)]
+            struct Root { head: Seg }
+            struct Seg { cap: u64, data: Vec<u8> }
+        ";
+        let all = defs(src);
+        let (pm, findings) = audit(&all);
+        assert_eq!(pm.len(), 2, "Seg reached through Root's field");
+        // Seg has no repr AND a Vec field.
+        assert!(findings.iter().any(|f| f.msg.contains("no stable repr") && f.msg.contains("`Seg`")));
+        assert!(findings.iter().any(|f| f.msg.contains("`Vec`")));
+    }
+
+    #[test]
+    fn generic_params_are_not_chased_and_phantom_is_fine() {
+        let src = "
+            /// pm-resident — 8-byte offset wrapper
+            #[repr(transparent)]
+            pub struct PPtr<T> { off: u64, _marker: PhantomData<fn() -> T> }
+        ";
+        let all = defs(src);
+        let (pm, findings) = audit(&all);
+        assert_eq!(pm.len(), 1);
+        assert!(findings.is_empty(), "{:?}", findings.iter().map(|f| &f.msg).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exempt_marker_skips_rules_but_requires_reason() {
+        let src = "/// pm-resident pm-layout-exempt(recovery-only scratch, never reopened)\nstruct Scratch { v: Vec<u8> }";
+        let (_, findings) = audit(&defs(src));
+        assert!(findings.is_empty());
+        let src2 = "/// pm-resident pm-layout-exempt()\nstruct Scratch { v: Vec<u8> }";
+        let (_, findings2) = audit(&defs(src2));
+        assert_eq!(findings2.len(), 1);
+        assert!(findings2[0].msg.contains("empty rationale"));
+    }
+
+    #[test]
+    fn lock_roundtrip_is_stable() {
+        let (pm, _) = audit(&defs(GOOD));
+        let lock = render_lock(&pm);
+        assert!(diff_lock(&pm, Some(&lock)).is_empty());
+        // And parseable back to the same fingerprint.
+        let parsed = parse_lock(&lock);
+        assert_eq!(parsed["Slot"].0, pm[0].fingerprint());
+    }
+
+    #[test]
+    fn field_reorder_changes_fingerprint_and_fails_lock() {
+        let (pm, _) = audit(&defs(GOOD));
+        let lock = render_lock(&pm);
+        // The same struct with `value` and `done` swapped — silent layout
+        // drift that would misread every reopened pool image.
+        let reordered = "
+            /// pm-resident
+            #[repr(C)]
+            pub struct Slot { pub version: AtomicU64, pub done: AtomicU64, pub value: AtomicU64 }
+        ";
+        let (pm2, _) = audit(&defs(reordered));
+        assert_ne!(pm[0].fingerprint(), pm2[0].fingerprint());
+        let findings = diff_lock(&pm2, Some(&lock));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].msg.contains("layout drift"), "{}", findings[0].msg);
+    }
+
+    #[test]
+    fn repr_removal_and_type_change_fail_lock() {
+        let (pm, _) = audit(&defs(GOOD));
+        let lock = render_lock(&pm);
+        let no_repr = "/// pm-resident\npub struct Slot { pub version: AtomicU64, pub value: AtomicU64, pub done: AtomicU64 }";
+        let (pm2, _) = audit(&defs(no_repr));
+        assert!(diff_lock(&pm2, Some(&lock)).iter().any(|f| f.msg.contains("layout drift")));
+        let retyped = "/// pm-resident\n#[repr(C)]\npub struct Slot { pub version: u32, pub value: AtomicU64, pub done: AtomicU64 }";
+        let (pm3, _) = audit(&defs(retyped));
+        assert!(diff_lock(&pm3, Some(&lock)).iter().any(|f| f.msg.contains("layout drift")));
+    }
+
+    #[test]
+    fn missing_lock_and_new_type_are_reported() {
+        let (pm, _) = audit(&defs(GOOD));
+        assert!(diff_lock(&pm, None)[0].msg.contains("missing"));
+        let findings = diff_lock(&pm, Some("# empty\n"));
+        assert!(findings[0].msg.contains("not in pm_layout.lock"));
+        // And the reverse: locked type vanished.
+        let lock = render_lock(&pm);
+        let gone = diff_lock(&[], Some(&lock));
+        assert!(gone[0].msg.contains("no longer discovered"));
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_parse() {
+        let src = "/// pm-resident opaque marker\n#[repr(C)]\npub struct Marker(());\nstruct Unit;";
+        let d = defs(src);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].fields, vec![("0".to_string(), "()".to_string())]);
+        assert!(d[1].fields.is_empty());
+    }
+
+    #[test]
+    fn structs_inside_fn_bodies_and_mods_are_found() {
+        let src = "mod inner { /// pm-resident\n #[repr(C)] struct Deep { x: u64 } }
+                   fn f() { struct Local { v: Vec<u8> } }";
+        let d = defs(src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|s| s.name == "Deep" && s.marked_resident));
+        assert!(d.iter().any(|s| s.name == "Local" && !s.marked_resident));
+    }
+}

@@ -1,43 +1,19 @@
-//! The custom concurrency / crash-consistency lint.
+//! Text-shadow utilities plus the two surviving token-search checks of the
+//! original `xtask lint` (PR 3): **facade** discipline and **SAFETY**
+//! comments. Both operate on a comment/string-stripped shadow of the source
+//! (same byte length, so offsets map 1:1 back to the original).
 //!
-//! Three checks, all operating on a comment/string-stripped shadow of each
-//! source file (same byte length, so offsets map 1:1 back to the original):
-//!
-//! 1. **facade** — concurrency-critical crates (`skiplist`, `vhistory`,
-//!    `pmem`) must import atomics and threads through the `mvkv-sync`
-//!    facade, never `std::sync::atomic` / `std::thread` directly, so the
-//!    loom models exercise the same code readers run. `#[cfg(test)]` items
-//!    are exempt (tests may use OS threads freely).
-//! 2. **persist-ordering** — in `vhistory` and `pmem`, any function that
-//!    stores through a persistent pointer (`write_u64(` / `write_bytes(`)
-//!    must reach a `persist*`/`flush`/`fence` call *after its last dirty
-//!    write* before returning. Prepare-phase helpers whose contract is
-//!    "caller persists" carry a `// lint: persist-exempt(<why>)` marker or
-//!    appear in [`PERSIST_ALLOWLIST`].
-//! 3. **safety-comment** — every `unsafe {` block and `unsafe impl` must be
-//!    immediately preceded by a `// SAFETY:` comment (mirrors clippy's
-//!    `undocumented_unsafe_blocks`, but also covers `unsafe impl` and runs
-//!    on stable without clippy).
+//! The third original check — the line-scanning persist-ordering heuristic
+//! with its `// lint: persist-exempt(...)` escape hatch and allowlist — is
+//! retired: the branch-aware dataflow pass in [`crate::cfg`] subsumes it
+//! (it catches flushes that cover only one control-flow path, which the
+//! textual scan could not see, and needs no exemption for prepare-phase
+//! helpers because their bodies contain no dirty-write calls).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Prepare-phase helpers: they deliberately leave data dirty because the
-/// caller owns the (coalesced) persist. Keep this list short and justified.
-const PERSIST_ALLOWLIST: &[(&str, &str)] = &[
-    // The write primitives themselves: persistence is the *caller's* duty —
-    // that is the whole point of the coalesced-fence write path.
-    ("pmem/src/pool.rs", "write_u64"),
-    ("pmem/src/pool.rs", "write_bytes"),
-];
-
-const FACADE_CRATES: &[&str] = &["crates/skiplist/src", "crates/vhistory/src", "crates/pmem/src"];
-const PERSIST_CRATES: &[&str] = &["crates/vhistory/src", "crates/pmem/src"];
-const SAFETY_ROOTS: &[&str] = &["crates", "src"];
-
 const FORBIDDEN: &[&str] = &["std::sync::atomic", "core::sync::atomic", "std::thread"];
-const DIRTY_WRITES: &[&str] = &["write_u64(", "write_bytes("];
-const PERSIST_TOKENS: &[&str] = &["persist", "flush", "fence"];
 
 #[derive(Debug)]
 pub struct Violation {
@@ -53,41 +29,14 @@ impl fmt::Display for Violation {
     }
 }
 
-pub fn run(root: &Path) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for dir in FACADE_CRATES {
-        for file in rust_files(&root.join(dir)) {
-            let src = std::fs::read_to_string(&file).unwrap();
-            out.extend(check_facade(&rel(root, &file), &src));
-        }
-    }
-    for dir in PERSIST_CRATES {
-        for file in rust_files(&root.join(dir)) {
-            let src = std::fs::read_to_string(&file).unwrap();
-            out.extend(check_persist_ordering(&rel(root, &file), &src));
-        }
-    }
-    for dir in SAFETY_ROOTS {
-        for file in rust_files(&root.join(dir)) {
-            let src = std::fs::read_to_string(&file).unwrap();
-            out.extend(check_safety_comments(&rel(root, &file), &src));
-        }
-    }
-    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    out
-}
-
-fn rel(root: &Path, file: &Path) -> PathBuf {
-    file.strip_prefix(root).unwrap_or(file).to_path_buf()
-}
-
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
+/// Recursively lists `.rs` files under `dir`, skipping build output and
+/// vendored stubs. Sorted for deterministic reports.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let Ok(entries) = std::fs::read_dir(dir) else { return out };
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
-            // Never descend into build output or vendored stubs.
             let name = path.file_name().unwrap_or_default();
             if name == "target" || name == "vendor" {
                 continue;
@@ -102,7 +51,7 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
 }
 
 // ---------------------------------------------------------------------------
-// Lexer: blank out comments and literals, preserving byte offsets
+// Shadow: blank out comments and literals, preserving byte offsets
 // ---------------------------------------------------------------------------
 
 /// Returns `src` with comments, string/char literals replaced by spaces
@@ -328,7 +277,7 @@ fn find_matching(b: &[u8], open_at: usize, open: u8, close: u8) -> Option<usize>
     None
 }
 
-fn in_spans(spans: &[(usize, usize)], off: usize) -> bool {
+pub fn in_spans(spans: &[(usize, usize)], off: usize) -> bool {
     spans.iter().any(|&(s, e)| s <= off && off <= e)
 }
 
@@ -337,18 +286,25 @@ fn line_of(src: &str, off: usize) -> usize {
 }
 
 // ---------------------------------------------------------------------------
-// Check 1: facade discipline
+// Check: facade discipline
 // ---------------------------------------------------------------------------
 
-pub fn check_facade(file: &Path, src: &str) -> Vec<Violation> {
-    let stripped = strip(src);
-    let spans = test_spans(&stripped);
+/// Concurrency-critical crates must import atomics and threads through the
+/// `mvkv-sync` facade, never `std::sync::atomic` / `std::thread` directly,
+/// so the loom models exercise the same code readers run. `#[cfg(test)]`
+/// items are exempt.
+pub fn check_facade(
+    file: &Path,
+    src: &str,
+    stripped: &str,
+    spans: &[(usize, usize)],
+) -> Vec<Violation> {
     let mut out = Vec::new();
     for pat in FORBIDDEN {
         let mut from = 0;
         while let Some(pos) = stripped[from..].find(pat).map(|p| p + from) {
             from = pos + pat.len();
-            if in_spans(&spans, pos) {
+            if in_spans(spans, pos) {
                 continue;
             }
             out.push(Violation {
@@ -365,84 +321,13 @@ pub fn check_facade(file: &Path, src: &str) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
-// Check 2: persist ordering
+// Check: SAFETY comments
 // ---------------------------------------------------------------------------
 
-pub fn check_persist_ordering(file: &Path, src: &str) -> Vec<Violation> {
-    let stripped = strip(src);
-    let spans = test_spans(&stripped);
-    let b = stripped.as_bytes();
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = stripped[from..].find("fn ").map(|p| p + from) {
-        from = pos + 3;
-        // token boundary: avoid matching inside identifiers like `often `
-        if pos > 0 && (b[pos - 1].is_ascii_alphanumeric() || b[pos - 1] == b'_') {
-            continue;
-        }
-        if in_spans(&spans, pos) {
-            continue;
-        }
-        let name_end = stripped[pos + 3..]
-            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
-            .map(|p| p + pos + 3)
-            .unwrap_or(stripped.len());
-        let name = stripped[pos + 3..name_end].to_string();
-        // Body: first `{` before a `;` (trait method decls have none).
-        let mut k = name_end;
-        while k < b.len() && b[k] != b'{' && b[k] != b';' {
-            k += 1;
-        }
-        if k >= b.len() || b[k] == b';' {
-            continue;
-        }
-        let Some(end) = find_matching(b, k, b'{', b'}') else { continue };
-        from = from.max(k + 1); // still scan nested fns
-        let body = &stripped[k..=end];
-
-        let last_write = DIRTY_WRITES.iter().filter_map(|p| body.rfind(p)).max();
-        let Some(last_write) = last_write else { continue };
-        let covered =
-            PERSIST_TOKENS.iter().filter_map(|p| body.rfind(p)).max().is_some_and(|p| p > last_write);
-        if covered {
-            continue;
-        }
-        let path_str = file.to_string_lossy().replace('\\', "/");
-        if PERSIST_ALLOWLIST.iter().any(|(f, n)| path_str.ends_with(f) && *n == name) {
-            continue;
-        }
-        // Escape hatch: `// lint: persist-exempt(<reason>)` above the fn or
-        // inside its body (checked against the ORIGINAL source).
-        let fn_line = line_of(src, pos);
-        let body_end_line = line_of(src, end);
-        let exempt = src
-            .lines()
-            .skip(fn_line.saturating_sub(4))
-            .take(body_end_line - fn_line.saturating_sub(4) + 1)
-            .any(|l| l.contains("lint: persist-exempt("));
-        if exempt {
-            continue;
-        }
-        out.push(Violation {
-            file: file.to_path_buf(),
-            line: line_of(src, k + last_write),
-            check: "persist-ordering",
-            msg: format!(
-                "fn `{name}` stores through a persistent pointer but no persist/flush/fence \
-                 follows the last dirty write; add one, or mark the fn \
-                 `// lint: persist-exempt(<why>)` if the caller persists"
-            ),
-        });
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Check 3: SAFETY comments
-// ---------------------------------------------------------------------------
-
-pub fn check_safety_comments(file: &Path, src: &str) -> Vec<Violation> {
-    let stripped = strip(src);
+/// Every `unsafe {` block and `unsafe impl` must be immediately preceded by
+/// a `// SAFETY:` comment (mirrors clippy's `undocumented_unsafe_blocks`,
+/// but also covers `unsafe impl` and runs on stable without clippy).
+pub fn check_safety_comments(file: &Path, src: &str, stripped: &str) -> Vec<Violation> {
     let b = stripped.as_bytes();
     let lines: Vec<&str> = src.lines().collect();
     let mut out = Vec::new();
@@ -509,6 +394,17 @@ mod tests {
     use super::*;
     use std::path::Path;
 
+    fn facade(src: &str) -> Vec<Violation> {
+        let stripped = strip(src);
+        let spans = test_spans(&stripped);
+        check_facade(Path::new("x.rs"), src, &stripped, &spans)
+    }
+
+    fn safety(src: &str) -> Vec<Violation> {
+        let stripped = strip(src);
+        check_safety_comments(Path::new("x.rs"), src, &stripped)
+    }
+
     #[test]
     fn strip_blanks_comments_and_strings() {
         let src = "let a = \"std::thread\"; // std::sync::atomic\nlet c = 'x';";
@@ -531,8 +427,7 @@ mod tests {
 
     #[test]
     fn facade_flags_direct_std_atomics() {
-        let src = "use std::sync::atomic::AtomicU64;\nfn f() {}\n";
-        let v = check_facade(Path::new("x.rs"), src);
+        let v = facade("use std::sync::atomic::AtomicU64;\nfn f() {}\n");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 1);
         assert_eq!(v[0].check, "facade");
@@ -541,39 +436,12 @@ mod tests {
     #[test]
     fn facade_skips_cfg_test_modules() {
         let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::thread;\n    #[test]\n    fn t() { std::thread::yield_now(); }\n}\n";
-        assert!(check_facade(Path::new("x.rs"), src).is_empty());
-    }
-
-    #[test]
-    fn persist_ordering_flags_unpersisted_write() {
-        let src = "fn bad(p: &Pool) {\n    p.write_u64(0, 1);\n}\n";
-        let v = check_persist_ordering(Path::new("x.rs"), src);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].check, "persist-ordering");
-    }
-
-    #[test]
-    fn persist_ordering_accepts_write_then_persist() {
-        let src = "fn good(p: &Pool) {\n    p.write_u64(0, 1);\n    p.persist(0, 8);\n}\n";
-        assert!(check_persist_ordering(Path::new("x.rs"), src).is_empty());
-    }
-
-    #[test]
-    fn persist_ordering_rejects_persist_before_write() {
-        let src = "fn sneaky(p: &Pool) {\n    p.persist(0, 8);\n    p.write_u64(0, 1);\n}\n";
-        assert_eq!(check_persist_ordering(Path::new("x.rs"), src).len(), 1);
-    }
-
-    #[test]
-    fn persist_ordering_honors_exempt_marker() {
-        let src = "// lint: persist-exempt(caller fences the batch)\nfn prepare(p: &Pool) {\n    p.write_u64(0, 1);\n}\n";
-        assert!(check_persist_ordering(Path::new("x.rs"), src).is_empty());
+        assert!(facade(src).is_empty());
     }
 
     #[test]
     fn safety_flags_bare_unsafe_block() {
-        let src = "fn f() {\n    let x = unsafe { *p };\n}\n";
-        let v = check_safety_comments(Path::new("x.rs"), src);
+        let v = safety("fn f() {\n    let x = unsafe { *p };\n}\n");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 2);
     }
@@ -589,14 +457,13 @@ unsafe impl Sync for Foo {}
 ";
         // Same-line coverage: the comment is above, the block on the next line.
         let src2 = "fn g() {\n    // SAFETY: checked above\n    unsafe { *p }\n}\n";
-        assert!(check_safety_comments(Path::new("x.rs"), src).is_empty());
-        assert!(check_safety_comments(Path::new("x.rs"), src2).is_empty());
+        assert!(safety(src).is_empty());
+        assert!(safety(src2).is_empty());
     }
 
     #[test]
     fn safety_ignores_unsafe_fn_declarations() {
-        let src = "pub unsafe fn dangerous(p: *const u8) -> u8 { read(p) }\n";
-        assert!(check_safety_comments(Path::new("x.rs"), src).is_empty());
+        assert!(safety("pub unsafe fn dangerous(p: *const u8) -> u8 { read(p) }\n").is_empty());
     }
 
     #[test]
@@ -604,6 +471,6 @@ unsafe impl Sync for Foo {}
         // The SAFETY text lives in a string literal, not a comment: the
         // stripped scan must still flag the block.
         let src = "fn f() {\n    let s = \"SAFETY: nope\";\n    unsafe { *p }\n}\n";
-        assert_eq!(check_safety_comments(Path::new("x.rs"), src).len(), 1);
+        assert_eq!(safety(src).len(), 1);
     }
 }

@@ -1,12 +1,24 @@
 //! Repo automation tasks, invoked as `cargo run -p xtask -- <task>`.
 //!
-//! Currently one task: `lint`, the custom concurrency / crash-consistency
-//! lint described in DESIGN.md ("Memory-ordering and persist-ordering
-//! discipline"). It is intentionally a dumb single-pass lexer over the
-//! source tree — no rustc plumbing — so it runs in milliseconds and can
-//! gate CI without a nightly toolchain.
+//! The main task is `analyze`: a multi-pass static analyzer built on a small
+//! hand-rolled Rust lexer and token-tree parser (no rustc plumbing, no
+//! dependencies — the workspace builds offline). See DESIGN.md §11 for the
+//! pass descriptions and `crates/xtask/src/analyze.rs` for the driver.
+//!
+//!   cargo run -p xtask -- analyze            # human-readable report
+//!   cargo run -p xtask -- analyze --json     # machine-readable (CI artifact)
+//!   cargo run -p xtask -- analyze --bless    # regenerate pm_layout.lock
+//!
+//! `lint` is kept as an alias for `analyze` so existing CI configs and
+//! muscle memory keep working during the transition from the PR 3
+//! line-scanner this analyzer replaced.
 
+mod analyze;
+mod cfg;
+mod layout;
+mod lexer;
 mod lint;
+mod ordering;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,28 +28,42 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf()
 }
 
+const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--bless]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
-            let violations = lint::run(&repo_root());
-            if violations.is_empty() {
-                eprintln!("xtask lint: clean");
+        Some("analyze") | Some("lint") => {
+            let mut json = false;
+            let mut bless = false;
+            for flag in &args[1..] {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--bless" => bless = true,
+                    other => {
+                        eprintln!("xtask analyze: unknown flag `{other}`\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let report = analyze::run(&repo_root(), bless);
+            if json {
+                print!("{}", analyze::render_json(&report));
+            } else {
+                eprint!("{}", analyze::render_human(&report));
+            }
+            if report.findings.is_empty() {
                 ExitCode::SUCCESS
             } else {
-                for v in &violations {
-                    eprintln!("{v}");
-                }
-                eprintln!("xtask lint: {} violation(s)", violations.len());
                 ExitCode::FAILURE
             }
         }
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            eprintln!("xtask: unknown task `{other}` (available: analyze, lint)\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,150 @@
+//! The atomic-ordering audit.
+//!
+//! PR 3's Relaxed-ordering audit was a human reading every
+//! `Ordering::Relaxed` site in the concurrency-critical crates and writing
+//! down why the relaxation is sound (DESIGN.md §9). This pass is the
+//! machine-checked version: every `Ordering::Relaxed` occurrence in
+//! non-test code of the audited crates must be covered by an
+//! `// ordering: <why>` justification comment — on the same line, or in the
+//! comment block introducing the small statement cluster it belongs to.
+//!
+//! The point is not the comment itself but the diff review it forces: a new
+//! Relaxed site arrives either with an argument for why it cannot race with
+//! publication, or as a lint failure. Promotions (Relaxed → Acquire/Release)
+//! need no justification — only the relaxation does.
+
+/// How many code lines a justification comment may sit above — covers the
+/// idiomatic `version`/`value` store pair plus one line of slack without
+/// letting a stale comment at the top of a function cover everything below.
+const CLUSTER_LINES: usize = 3;
+
+pub struct OrderingFinding {
+    pub line: u32,
+    pub msg: String,
+}
+
+/// Scans one file. `stripped` is the comment/string-blanked shadow (same
+/// byte length as `src`), `spans` the `#[cfg(test)]` item spans within it.
+pub fn check_relaxed(src: &str, stripped: &str, spans: &[(usize, usize)]) -> Vec<OrderingFinding> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    let mut from = 0;
+    let mut last_line = 0u32; // one finding per line even with two sites on it
+    while let Some(pos) = stripped[from..].find("Ordering::Relaxed").map(|p| p + from) {
+        from = pos + "Ordering::Relaxed".len();
+        if spans.iter().any(|&(s, e)| s <= pos && pos <= e) {
+            continue;
+        }
+        let line = stripped.as_bytes()[..pos].iter().filter(|&&c| c == b'\n').count() as u32 + 1;
+        if line == last_line {
+            continue;
+        }
+        last_line = line;
+        if justified(&lines, line as usize - 1) {
+            continue;
+        }
+        out.push(OrderingFinding {
+            line,
+            msg: "`Ordering::Relaxed` without an `// ordering:` justification — say why this \
+                  access cannot race with publication (e.g. covered by a later Acquire/Release \
+                  pair, single-writer counter, value validated by CAS), or promote the ordering"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// True if line `idx` (0-based) is covered by an `ordering:` comment: on
+/// the line itself, or in the comment block at the head of its statement
+/// cluster (attributes skipped, at most [`CLUSTER_LINES`] code lines up).
+fn justified(lines: &[&str], idx: usize) -> bool {
+    if has_marker(lines[idx]) {
+        return true;
+    }
+    let mut budget = CLUSTER_LINES;
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim();
+        if t.starts_with("//") {
+            // Walk the whole contiguous comment block.
+            if has_marker(t) {
+                return true;
+            }
+            continue;
+        }
+        if t.starts_with("#[") || t.starts_with("#!") {
+            continue;
+        }
+        // A code line: still within the cluster? Block/function boundaries
+        // end the search — a comment above `{` belongs to the block, not to
+        // a statement inside it.
+        if budget == 0 || t.is_empty() || t.ends_with('{') || t.starts_with('}') || t.starts_with("fn ")
+        {
+            return false;
+        }
+        if has_marker(t) {
+            // Trailing `// ordering:` on an earlier line of the same
+            // statement (multi-line call chains).
+            return true;
+        }
+        budget -= 1;
+    }
+    false
+}
+
+fn has_marker(line: &str) -> bool {
+    line.find("//").is_some_and(|p| line[p..].contains("ordering:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{strip, test_spans};
+
+    fn findings(src: &str) -> Vec<u32> {
+        let stripped = strip(src);
+        let spans = test_spans(&stripped);
+        check_relaxed(src, &stripped, &spans).into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn bare_relaxed_is_flagged() {
+        let src = "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(findings(src), vec![2]);
+    }
+
+    #[test]
+    fn same_line_and_above_line_justifications() {
+        let same = "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Relaxed); // ordering: stats only\n}\n";
+        assert!(findings(same).is_empty());
+        let above = "fn f(a: &AtomicU64) {\n    // ordering: covered by the Release store of done below\n    a.store(1, Ordering::Relaxed);\n}\n";
+        assert!(findings(above).is_empty());
+    }
+
+    #[test]
+    fn one_comment_covers_a_small_cluster_but_not_a_function() {
+        let cluster = "fn f(e: &Entry) {\n    // ordering: published by done (Release) below\n    e.version.store(1, Ordering::Relaxed);\n    e.value.store(2, Ordering::Relaxed);\n    e.done.store(3, Ordering::Release);\n}\n";
+        assert!(findings(cluster).is_empty());
+        // A comment above the opening brace does NOT cover sites inside.
+        let outside = "// ordering: too far away\nfn f(a: &AtomicU64) {\n    a.store(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(findings(outside), vec![3]);
+        // And blank lines break the cluster.
+        let gapped = "fn f(a: &AtomicU64, b: &AtomicU64) {\n    // ordering: for a only\n    a.store(1, Ordering::Relaxed);\n\n    b.store(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(findings(gapped), vec![5]);
+    }
+
+    #[test]
+    fn test_code_and_strings_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(a: &AtomicU64) { a.store(1, Ordering::Relaxed); }\n}\n";
+        assert!(findings(src).is_empty());
+        let in_str = "fn f() { let s = \"Ordering::Relaxed\"; }\n";
+        assert!(findings(in_str).is_empty());
+    }
+
+    #[test]
+    fn two_sites_on_one_line_report_once() {
+        let src = "fn f(e: &E) {\n    g(e.a.load(Ordering::Relaxed), e.b.load(Ordering::Relaxed));\n}\n";
+        assert_eq!(findings(src), vec![2]);
+    }
+}
