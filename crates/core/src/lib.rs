@@ -35,6 +35,7 @@ pub mod eskiplist;
 pub mod export;
 pub mod lockedmap;
 pub mod pskiplist;
+pub mod recovery;
 pub mod stats;
 pub mod vmap;
 
@@ -44,7 +45,10 @@ pub use dbstore::{DbSession, DbStore};
 pub use eskiplist::ESkipList;
 pub use export::{export_snapshot, import_snapshot, read_snapshot, write_snapshot, ExportError};
 pub use lockedmap::LockedMap;
-pub use pskiplist::{CompactStats, PSkipList, RestartStats, StoreOptions};
+pub use pskiplist::{CompactStats, PSkipList, RestartStats, SalvageOpen, StoreOptions};
+pub use recovery::{
+    CorruptionClass, KeyQuarantine, QuarantineReport, RecoveryError, RecoveryStatus, ScrubReport,
+};
 #[doc(hidden)]
 pub use pskiplist::splitmix as splitmix_for_tests;
 pub use stats::OpStats;

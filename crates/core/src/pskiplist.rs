@@ -24,11 +24,16 @@
 //! operations.
 
 use crate::api::{StoreSession, VersionedStore};
+use crate::recovery::{
+    CorruptionClass, KeyQuarantine, QuarantineReport, RecoveryError, RecoveryStatus, ScrubReport,
+};
 use crate::Pair;
-use mvkv_keychain::{rebuild_into, ChainHdr, KeyChain, DEFAULT_BLOCK_CAP};
-use mvkv_pmem::{CrashOptions, PPtr, PmemPool};
+use mvkv_keychain::{try_rebuild_into, ChainHdr, KeyChain, RepairStats, DEFAULT_BLOCK_CAP};
+use mvkv_pmem::{CrashOptions, PPtr, PmemError, PmemPool};
 use mvkv_skiplist::{InsertOutcome, SkipList};
-use mvkv_vhistory::recovery::{compute_watermark, prune_to_watermark, scan_published_prefix};
+use mvkv_vhistory::recovery::{
+    compute_watermark, prune_to_watermark, scan_published_prefix_checked, PrefixScan, ScanStop,
+};
 use mvkv_vhistory::{History, HistoryRecord, PHistory, VersionClock, TOMBSTONE};
 use std::path::Path;
 use std::sync::Arc;
@@ -51,6 +56,15 @@ pub struct RestartStats {
     pub scan_time: Duration,
     /// Prune pass time.
     pub prune_time: Duration,
+}
+
+/// Everything a salvage open produces: the recovered store, restart
+/// timings, the overall verdict, and the itemized quarantine report.
+pub struct SalvageOpen {
+    pub store: PSkipList,
+    pub stats: RestartStats,
+    pub status: RecoveryStatus,
+    pub report: QuarantineReport,
 }
 
 /// Store construction options.
@@ -219,84 +233,213 @@ impl PSkipList {
 
     /// Reopens a persisted store: validates the pool, repairs the chain,
     /// reconstructs the index with `threads` workers, recovers the
-    /// watermark and prunes torn suffixes.
+    /// watermark and prunes torn suffixes. Any detected corruption is
+    /// quarantined silently; use [`PSkipList::open_file_salvage`] to get
+    /// the itemized report.
     pub fn open_file<P: AsRef<Path>>(path: P, threads: usize) -> std::io::Result<(Self, RestartStats)> {
         let pool =
             PmemPool::open_file(path).map_err(|e| std::io::Error::other(e.to_string()))?;
-        Ok(Self::attach(pool, threads))
+        Self::try_attach(pool, threads)
+            .map(|(store, stats, _)| (store, stats))
+            .map_err(|e| std::io::Error::other(e.to_string()))
     }
 
     /// Reopens from a crash image (or any serialized pool bytes).
     pub fn open_image(bytes: &[u8], threads: usize) -> std::io::Result<(Self, RestartStats)> {
         let pool =
             PmemPool::open_image(bytes).map_err(|e| std::io::Error::other(e.to_string()))?;
-        Ok(Self::attach(pool, threads))
+        Self::try_attach(pool, threads)
+            .map(|(store, stats, _)| (store, stats))
+            .map_err(|e| std::io::Error::other(e.to_string()))
     }
 
-    fn attach(pool: PmemPool, threads: usize) -> (Self, RestartStats) {
+    /// Salvage open from a pool file: tolerates localized media corruption
+    /// by quarantining damaged records (see [`crate::recovery`]) instead of
+    /// panicking or failing outright. Only damage to the load-bearing
+    /// structures (superblock, root, chain headers) is a hard error.
+    pub fn open_file_salvage<P: AsRef<Path>>(
+        path: P,
+        threads: usize,
+    ) -> Result<SalvageOpen, RecoveryError> {
+        let pool = PmemPool::open_file(path)?;
+        Self::salvage(pool, threads, 0)
+    }
+
+    /// Salvage open from an image. An image shorter than its recorded
+    /// length (truncated media) is re-padded with zeros first: the padding
+    /// never verifies as data — records it swallowed fail their CRCs and
+    /// are quarantined rather than surfaced.
+    pub fn open_image_salvage(bytes: &[u8], threads: usize) -> Result<SalvageOpen, RecoveryError> {
+        match PmemPool::open_image(bytes) {
+            Ok(pool) => Self::salvage(pool, threads, 0),
+            Err(PmemError::LengthMismatch { .. }) => {
+                let mut image = bytes.to_vec();
+                let padded = mvkv_pmem::corrupt::pad_to_recorded_len(&mut image) as u64;
+                let pool = PmemPool::open_image(&image)?;
+                Self::salvage(pool, threads, padded)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn salvage(
+        pool: PmemPool,
+        threads: usize,
+        padded_bytes: u64,
+    ) -> Result<SalvageOpen, RecoveryError> {
+        let (store, stats, mut report) = Self::try_attach(pool, threads)?;
+        report.padded_bytes = padded_bytes;
+        let status = if report.is_empty() {
+            RecoveryStatus::Clean
+        } else {
+            RecoveryStatus::Degraded {
+                recovered: stats.rebuilt_keys,
+                quarantined: report.total(),
+            }
+        };
+        Ok(SalvageOpen { store, stats, status, report })
+    }
+
+    fn try_attach(
+        pool: PmemPool,
+        threads: usize,
+    ) -> Result<(Self, RestartStats, QuarantineReport), RecoveryError> {
+        use mvkv_vhistory::Slots;
+        let mut report = QuarantineReport::default();
         let root = pool.root();
-        assert_ne!(root, 0, "pool has no root object");
+        if root == 0 {
+            return Err(RecoveryError::NoRoot);
+        }
+        if !root.is_multiple_of(8)
+            || root.checked_add(ROOT_SIZE as u64).is_none_or(|end| end > pool.len() as u64)
+        {
+            return Err(RecoveryError::CorruptRoot);
+        }
         let chain_ptr: PPtr<ChainHdr> = PPtr::from_off(pool.read_u64(root + ROOT_KEYCHAIN));
         let tagchain_ptr: PPtr<ChainHdr> = PPtr::from_off(pool.read_u64(root + ROOT_TAGCHAIN));
         let changelog_off = pool.read_u64(root + ROOT_CHANGELOG);
         let changelog_ptr =
             (changelog_off != 0).then_some(PPtr::<ChainHdr>::from_off(changelog_off));
         let wm_base = pool.read_u64(root + ROOT_WMBASE);
-        assert!(!chain_ptr.is_null(), "pool has no key chain root");
+        if chain_ptr.is_null() {
+            return Err(RecoveryError::NoKeyChain);
+        }
         let index = SkipList::new();
         let mut stats = RestartStats { rebuild_threads: threads, ..Default::default() };
+        let mut key_quarantine: Vec<KeyQuarantine> = Vec::new();
         {
-            let chain = KeyChain::open(&pool, chain_ptr);
-            chain.repair();
-            KeyChain::open(&pool, tagchain_ptr).repair();
+            // Chain capacity words are self-checksummed; a failure here is
+            // unrecoverable (every bounds computation depends on them).
+            let chain = KeyChain::open_checked(&pool, chain_ptr)
+                .ok_or(RecoveryError::CorruptChainHeader { chain: "keys" })?;
+            let tags = KeyChain::open_checked(&pool, tagchain_ptr)
+                .ok_or(RecoveryError::CorruptChainHeader { chain: "tags" })?;
+            let absorb = |report: &mut QuarantineReport, r: RepairStats| {
+                report.chain_quarantined_blocks += r.quarantined_blocks;
+                report.chain_quarantined_pairs += r.quarantined_pairs;
+                report.chain_truncated_links += r.truncated_links;
+            };
+            absorb(&mut report, chain.repair());
+            absorb(&mut report, tags.repair());
             if let Some(cl) = changelog_ptr {
-                KeyChain::open(&pool, cl).repair();
+                let cl = KeyChain::open_checked(&pool, cl)
+                    .ok_or(RecoveryError::CorruptChainHeader { chain: "changelog" })?;
+                absorb(&mut report, cl.repair());
             }
 
-            // Phase 1: parallel index reconstruction (paper Fig 5a).
+            // Phase 1: parallel index reconstruction (paper Fig 5a). A pair
+            // whose history offset cannot hold a header in-bounds is
+            // quarantined — a bit-flipped offset must not poison the index
+            // with a pointer every later read would chase out of bounds.
             let t0 = Instant::now();
-            let rebuilt = rebuild_into(&chain, threads, |key, hist| {
-                index.insert_with(key, || hist);
-            });
+            let unreachable = parking_lot::Mutex::new(Vec::new());
+            let rebuilt = try_rebuild_into(&chain, threads, |key, hist| {
+                if PHistory::open_checked(&pool, PPtr::from_off(hist)).is_some() {
+                    index.insert_with(key, || hist);
+                } else {
+                    unreachable.lock().push(KeyQuarantine {
+                        key,
+                        class: CorruptionClass::UnreachableHistory,
+                        dropped_records: 0,
+                    });
+                }
+            })
+            .map_err(|_| RecoveryError::WorkerPanicked { phase: "rebuild" })?;
             stats.rebuild_time = t0.elapsed();
-            stats.rebuilt_keys = rebuilt.pairs;
+            let unreachable = unreachable.into_inner();
+            stats.rebuilt_keys = rebuilt.pairs - unreachable.len() as u64;
+            key_quarantine.extend(unreachable);
 
             // Phase 2: recover the completion watermark from done stamps —
             // parallelized with the same modulo block claiming as the
-            // index rebuild.
+            // index rebuild. The checked scan classifies why each prefix
+            // ended; corruption classes feed the quarantine report.
             let t1 = Instant::now();
-            let scans: Vec<Vec<_>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads.max(1))
-                    .map(|tid| {
-                        let pool = &pool;
-                        let chain = &chain;
-                        scope.spawn(move || {
-                            let mut scans =
-                                Vec::with_capacity(chain.len() as usize / threads.max(1) + 1);
-                            for (off, idx) in chain.blocks() {
-                                if idx as usize % threads.max(1) != tid {
-                                    continue;
+            type ScanOut = (Vec<PrefixScan>, Vec<KeyQuarantine>);
+            let scan_results: Vec<std::thread::Result<ScanOut>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads.max(1))
+                        .map(|tid| {
+                            let pool = &pool;
+                            let chain = &chain;
+                            scope.spawn(move || {
+                                let mut scans =
+                                    Vec::with_capacity(chain.len() as usize / threads.max(1) + 1);
+                                let mut quarantined = Vec::new();
+                                for (off, idx) in chain.blocks() {
+                                    if idx as usize % threads.max(1) != tid {
+                                        continue;
+                                    }
+                                    for (key, hist) in chain.block_pairs(off) {
+                                        let Some(h) =
+                                            PHistory::open_checked(pool, PPtr::from_off(hist))
+                                        else {
+                                            continue; // quarantined in phase 1
+                                        };
+                                        let (scan, stop) = scan_published_prefix_checked(&h);
+                                        let class = match stop {
+                                            ScanStop::Exhausted | ScanStop::Unpublished => None,
+                                            ScanStop::ChecksumInvalid => {
+                                                Some(CorruptionClass::ChecksumInvalid)
+                                            }
+                                            ScanStop::TornStamp => Some(CorruptionClass::TornStamp),
+                                            ScanStop::Unlinked => {
+                                                Some(CorruptionClass::UnlinkedSegment)
+                                            }
+                                        };
+                                        if let Some(class) = class {
+                                            quarantined.push(KeyQuarantine {
+                                                key,
+                                                class,
+                                                dropped_records: h
+                                                    .pending()
+                                                    .saturating_sub(scan.len),
+                                            });
+                                        }
+                                        scans.push(scan);
+                                    }
                                 }
-                                for (_, hist) in chain.block_pairs(off) {
-                                    scans.push(scan_published_prefix(&PHistory::open(
-                                        pool,
-                                        PPtr::from_off(hist),
-                                    )));
-                                }
-                            }
-                            scans
+                                (scans, quarantined)
+                            })
                         })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
-            });
-            stats.watermark = compute_watermark(scans.iter().flatten(), wm_base);
+                        .collect();
+                    handles.into_iter().map(|h| h.join()).collect()
+                });
+            let mut scans = Vec::new();
+            for result in scan_results {
+                let (s, q) =
+                    result.map_err(|_| RecoveryError::WorkerPanicked { phase: "scan" })?;
+                scans.extend(s);
+                key_quarantine.extend(q);
+            }
+            stats.watermark = compute_watermark(scans.iter(), wm_base);
             stats.scan_time = t1.elapsed();
 
             // Phase 3: prune everything beyond the watermark (§IV-B),
-            // in parallel the same way.
+            // in parallel the same way. prune_to_watermark also drops
+            // checksum-invalid slots below the watermark.
             let t2 = Instant::now();
-            let pruned: u64 = std::thread::scope(|scope| {
+            let prune_results: Vec<std::thread::Result<u64>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads.max(1))
                     .map(|tid| {
                         let pool = &pool;
@@ -309,22 +452,39 @@ impl PSkipList {
                                     continue;
                                 }
                                 for (_, hist) in chain.block_pairs(off) {
-                                    pruned += prune_to_watermark(
-                                        &PHistory::open(pool, PPtr::from_off(hist)),
-                                        watermark,
-                                    )
-                                    .pruned;
+                                    let Some(h) =
+                                        PHistory::open_checked(pool, PPtr::from_off(hist))
+                                    else {
+                                        continue;
+                                    };
+                                    pruned += prune_to_watermark(&h, watermark).pruned;
                                 }
                             }
                             pruned
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("prune worker")).sum()
+                handles.into_iter().map(|h| h.join()).collect()
             });
-            stats.pruned_entries = pruned;
+            for result in prune_results {
+                stats.pruned_entries +=
+                    result.map_err(|_| RecoveryError::WorkerPanicked { phase: "prune" })?;
+            }
             stats.prune_time = t2.elapsed();
+
+            report.indeterminate_alloc_blocks =
+                mvkv_pmem::recovery::audit(&pool).indeterminate_blocks;
         }
+        report.keys = key_quarantine;
+        mvkv_obs::counter_add!(
+            "mvkv_recovery_corrupt_records_total",
+            report.keys.len() as u64
+        );
+        mvkv_obs::gauge_set!("mvkv_recovery_quarantined_total", report.total());
+        mvkv_obs::gauge_set!(
+            "mvkv_recovery_chain_quarantined_blocks",
+            report.chain_quarantined_blocks
+        );
         let store = PSkipList {
             pool: Arc::new(pool),
             index,
@@ -335,7 +495,45 @@ impl PSkipList {
             clock: VersionClock::resume(stats.watermark, 1 << 16),
             counters: crate::stats::OpCounters::new(),
         };
-        (store, stats)
+        Ok((store, stats, report))
+    }
+
+    /// On-demand read-only integrity scrub: walks every indexed key's
+    /// claimed slots and verifies the CRC of each published record.
+    /// Mutates nothing; updates the scrub gauges.
+    pub fn scrub(&self) -> ScrubReport {
+        use mvkv_vhistory::Slots;
+        let mut report = ScrubReport::default();
+        for (&_key, hist) in self.index.iter() {
+            report.keys += 1;
+            let h = PHistory::open(&self.pool, PPtr::from_off(hist));
+            let mut key_corrupt = false;
+            for idx in 0..h.pending() {
+                match h.try_entry(idx) {
+                    None => {
+                        key_corrupt = true;
+                        break;
+                    }
+                    Some(e) => {
+                        if e.done.load(std::sync::atomic::Ordering::Acquire) == 0 {
+                            continue; // unpublished claim: nothing to verify
+                        }
+                        if e.crc_valid() {
+                            report.valid_records += 1;
+                        } else {
+                            report.corrupt_records += 1;
+                            key_corrupt = true;
+                        }
+                    }
+                }
+            }
+            if key_corrupt {
+                report.corrupt_keys += 1;
+            }
+        }
+        mvkv_obs::gauge_set!("mvkv_scrub_corrupt_records", report.corrupt_records);
+        mvkv_obs::gauge_set!("mvkv_scrub_corrupt_keys", report.corrupt_keys);
+        report
     }
 
     // -- accessors ------------------------------------------------------------

@@ -16,17 +16,51 @@ pub struct RebuildStats {
     pub threads: usize,
 }
 
+/// A rebuild worker thread panicked — the sink raised on some pair it
+/// could not tolerate. The chain itself is untouched (rebuild only reads),
+/// so salvage callers report this instead of unwinding the open path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildPanicked;
+
+impl std::fmt::Display for RebuildPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rebuild worker panicked")
+    }
+}
+
+impl std::error::Error for RebuildPanicked {}
+
 /// Feeds every valid `(key, history)` pair of `chain` to `sink` using
 /// `threads` workers with modulo block claiming. `sink` must be safe for
 /// concurrent calls (e.g. a lock-free skip-list insert).
+///
+/// Panics if a worker panics; recovery paths use [`try_rebuild_into`],
+/// which reports that as an error instead.
 pub fn rebuild_into<F>(chain: &KeyChain<'_>, threads: usize, sink: F) -> RebuildStats
+where
+    F: Fn(u64, u64) + Sync,
+{
+    match try_rebuild_into(chain, threads, sink) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`rebuild_into`]: a panicking worker yields
+/// `Err(RebuildPanicked)` after every other worker has been joined,
+/// rather than unwinding the caller.
+pub fn try_rebuild_into<F>(
+    chain: &KeyChain<'_>,
+    threads: usize,
+    sink: F,
+) -> Result<RebuildStats, RebuildPanicked>
 where
     F: Fn(u64, u64) + Sync,
 {
     mvkv_obs::span!("mvkv_keychain_rebuild_ns");
     let threads = threads.max(1);
     let sink = &sink;
-    let counts: Vec<(u64, u64)> = std::thread::scope(|scope| {
+    let counts: Vec<std::thread::Result<(u64, u64)>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         handles.extend((0..threads).map(|tid| {
             scope.spawn(move || {
@@ -45,16 +79,25 @@ where
                 (blocks, pairs)
             })
         }));
-        handles.into_iter().map(|h| h.join().expect("rebuild worker panicked")).collect()
+        handles.into_iter().map(|h| h.join()).collect()
     });
-    let stats = RebuildStats {
-        blocks: counts.iter().map(|c| c.0).sum(),
-        pairs: counts.iter().map(|c| c.1).sum(),
-        threads,
-    };
+    let mut stats = RebuildStats { blocks: 0, pairs: 0, threads };
+    let mut panicked = false;
+    for count in counts {
+        match count {
+            Ok((blocks, pairs)) => {
+                stats.blocks += blocks;
+                stats.pairs += pairs;
+            }
+            Err(_) => panicked = true,
+        }
+    }
+    if panicked {
+        return Err(RebuildPanicked);
+    }
     mvkv_obs::counter_add!("mvkv_keychain_rebuild_pairs_total", stats.pairs);
     mvkv_obs::counter_inc!("mvkv_keychain_rebuilds_total");
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]

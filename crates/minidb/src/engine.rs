@@ -100,16 +100,21 @@ struct Shared {
 
 impl Shared {
     /// Uncached committed page read: WAL first, then main storage.
+    ///
+    /// Panics on I/O failure — only sound for pages the committed meta
+    /// already vouches for. Open paths use [`Shared::try_fetch_committed`]
+    /// so a truncated or unreadable database surfaces as an error.
     fn fetch_committed(&self, id: u64) -> PageBuf {
+        self.try_fetch_committed(id).expect("committed page read failed")
+    }
+
+    /// Fallible committed page read: WAL first, then main storage.
+    fn try_fetch_committed(&self, id: u64) -> Result<PageBuf> {
         let mut buf = PageBuf::zeroed();
-        match self.wal.read_page(id, &mut buf) {
-            Ok(true) => buf,
-            Ok(false) => {
-                self.storage.read_page(id, &mut buf).expect("page read failed");
-                buf
-            }
-            Err(e) => panic!("WAL read failed: {e}"),
+        if !self.wal.read_page(id, &mut buf)? {
+            self.storage.read_page(id, &mut buf)?;
         }
+        Ok(buf)
     }
 }
 
@@ -201,7 +206,7 @@ impl Database {
             },
             opts,
         };
-        let meta = Meta::from_page(&shared.fetch_committed(META_PAGE))?;
+        let meta = Meta::from_page(&shared.try_fetch_committed(META_PAGE)?)?;
         *shared.writer.lock() = meta;
         *shared.committed_meta.write() = meta;
         Ok(Database { shared: Arc::new(shared) })

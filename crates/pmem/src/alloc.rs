@@ -26,8 +26,14 @@
 //! persists is covered by a durable header. A crash between cursor advance
 //! and header persist leaks at most the in-flight batch; the open-time scan
 //! stops at the first invalid header and re-bases the cursor there. Batch
-//! refill pre-carves the extra blocks with durable `STATE_FREE` headers, so
+//! refill pre-carves the extra blocks with durable free-state headers, so
 //! a crash after the fence leaves them walkable and reusable.
+//!
+//! State words are CRC-folded ([`encode_state`] /
+//! [`decode_state`]): the tag rides the high half, a CRC32C over
+//! `(size, tag)` the low half. Torn or flipped metadata fails the decode and
+//! the rebuild scan conservatively treats the block as live (leak-at-most),
+//! instead of resurrecting a corrupt block onto a free list.
 
 use crate::layout::*;
 use crate::pool::PmemPool;
@@ -206,7 +212,7 @@ impl Allocator {
 
     /// Carves up to [`REFILL_BATCH`] same-class blocks with one cursor CAS:
     /// the first is returned allocated, the rest are parked in shard `me`
-    /// with durable `STATE_FREE` headers. All header persists plus the
+    /// with durable free-state headers. All header persists plus the
     /// cursor persist share a single fence.
     fn refill_and_alloc(
         &self,
@@ -240,13 +246,13 @@ impl Allocator {
             // Headers first, then persist headers + cursor before handing
             // out the payload (see module docs for the crash argument).
             pool.write_u64(current, block);
-            pool.write_u64(current + 8, STATE_ALLOCATED);
+            pool.write_u64(current + 8, encode_state(block, BlockState::Allocated));
             pool.persist(current, BLOCK_HEADER as usize);
             let mut extras = Vec::with_capacity(batch as usize - 1);
             for i in 1..batch {
                 let hdr = current + i * block;
                 pool.write_u64(hdr, block);
-                pool.write_u64(hdr + 8, STATE_FREE);
+                pool.write_u64(hdr + 8, encode_state(block, BlockState::Free));
                 pool.persist(hdr, BLOCK_HEADER as usize);
                 extras.push(hdr + BLOCK_HEADER);
             }
@@ -281,7 +287,7 @@ impl Allocator {
             // Header first, then persist header + cursor before handing out
             // the payload (see module docs for the crash argument).
             pool.write_u64(current, block);
-            pool.write_u64(current + 8, STATE_ALLOCATED);
+            pool.write_u64(current + 8, encode_state(block, BlockState::Allocated));
             pool.persist(current, BLOCK_HEADER as usize);
             pool.persist(OFF_BUMP, 8);
             pool.fence();
@@ -294,7 +300,8 @@ impl Allocator {
 
     fn mark_allocated(&self, pool: &PmemPool, payload_off: u64) {
         let header = payload_off - BLOCK_HEADER;
-        pool.write_u64(header + 8, STATE_ALLOCATED);
+        let size = pool.read_u64(header);
+        pool.write_u64(header + 8, encode_state(size, BlockState::Allocated));
         pool.persist(header + 8, 8);
         pool.fence();
         self.live_blocks.fetch_add(1, Ordering::Relaxed); // ordering: gauge, not a publication
@@ -308,11 +315,11 @@ impl Allocator {
         let size = pool.read_u64(header);
         debug_assert!(size >= BLOCK_HEADER + BLOCK_ALIGN, "freeing a non-block at {off}");
         debug_assert_eq!(
-            pool.read_u64(header + 8),
-            STATE_ALLOCATED,
+            decode_state(size, pool.read_u64(header + 8)),
+            Some(BlockState::Allocated),
             "double free or corruption at {off}"
         );
-        pool.write_u64(header + 8, STATE_FREE);
+        pool.write_u64(header + 8, encode_state(size, BlockState::Free));
         pool.persist(header + 8, 8);
         pool.fence();
 
@@ -346,7 +353,7 @@ impl Allocator {
             let state = pool.read_u64(cursor + 8);
             let payload_off = cursor + BLOCK_HEADER;
             let payload = size - BLOCK_HEADER;
-            if state == STATE_FREE {
+            if decode_state(size, state) == Some(BlockState::Free) {
                 match SIZE_CLASSES.iter().position(|&c| c as u64 == payload) {
                     Some(class) => {
                         self.shards[next_shard].class_free[class].lock().push(payload_off);
@@ -355,8 +362,10 @@ impl Allocator {
                     None => self.large_free.lock().entry(size).or_default().push(payload_off),
                 }
             } else {
-                // ALLOCATED, or a header whose state never persisted:
-                // conservatively treat as live (leak-at-most semantics).
+                // Allocated, or a header whose state never persisted or
+                // failed its CRC: conservatively treat as live
+                // (leak-at-most semantics) — a corrupt block must never
+                // reach a free list.
                 live += 1;
             }
             cursor += size;

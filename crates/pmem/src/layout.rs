@@ -20,7 +20,8 @@
 pub const MAGIC: u64 = 0x4D45_4D50_564B_564D;
 
 /// Bumped whenever the on-media layout changes incompatibly.
-pub const LAYOUT_VERSION: u64 = 1;
+/// v2: block state words and history entries carry CRC32C integrity codes.
+pub const LAYOUT_VERSION: u64 = 2;
 
 /// Superblock field offsets.
 pub const OFF_MAGIC: u64 = 0;
@@ -45,9 +46,50 @@ pub const BLOCK_ALIGN: u64 = 16;
 /// Per-block header: `[size: u64][state: u64]` preceding the payload.
 pub const BLOCK_HEADER: u64 = 16;
 
-/// `state` values stored in block headers.
-pub const STATE_FREE: u64 = 0xF4EE_F4EE_F4EE_F4EE;
-pub const STATE_ALLOCATED: u64 = 0xA110_CA7E_A110_CA7E;
+/// Tags distinguishing block states; stored in the high half of the state
+/// word, self-checksummed against the block size (see [`encode_state`]).
+pub const TAG_FREE: u32 = 0xF4EE_F4EE;
+pub const TAG_ALLOCATED: u32 = 0xA110_CA7E;
+
+/// Decoded state of a heap block header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    Free,
+    Allocated,
+}
+
+impl BlockState {
+    #[inline]
+    fn tag(self) -> u32 {
+        match self {
+            BlockState::Free => TAG_FREE,
+            BlockState::Allocated => TAG_ALLOCATED,
+        }
+    }
+}
+
+/// Encodes a block state word: `tag << 32 | crc32c(size ‖ tag)`. Binding the
+/// CRC to the *size* word as well means a state word transplanted onto a
+/// different block (misdirected write) fails to decode, not just a flipped
+/// bit in place. Written where the old raw `STATE_*` constants were; still
+/// one 8-byte store, so allocator fence counts are unchanged.
+#[inline]
+pub fn encode_state(size: u64, state: BlockState) -> u64 {
+    let tag = state.tag();
+    ((tag as u64) << 32) | crate::crc::crc32c_u64s(&[size, tag as u64]) as u64
+}
+
+/// Decodes a block state word against the block's `size`; `None` means the
+/// metadata is torn or corrupt (recovery treats the block as indeterminate).
+#[inline]
+pub fn decode_state(size: u64, word: u64) -> Option<BlockState> {
+    let state = match (word >> 32) as u32 {
+        TAG_FREE => BlockState::Free,
+        TAG_ALLOCATED => BlockState::Allocated,
+        _ => return None,
+    };
+    (encode_state(size, state) == word).then_some(state)
+}
 
 /// Size classes for small allocations (payload capacities, bytes).
 pub const SIZE_CLASSES: [usize; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
@@ -110,8 +152,28 @@ mod tests {
 
     #[test]
     fn states_are_distinct_and_nonzero() {
-        assert_ne!(STATE_FREE, STATE_ALLOCATED);
-        assert_ne!(STATE_FREE, 0);
-        assert_ne!(STATE_ALLOCATED, 0);
+        for size in [32u64, 80, 4112] {
+            let free = encode_state(size, BlockState::Free);
+            let alloc = encode_state(size, BlockState::Allocated);
+            assert_ne!(free, alloc);
+            assert_ne!(free, 0);
+            assert_ne!(alloc, 0);
+        }
+    }
+
+    #[test]
+    fn state_words_roundtrip_and_reject_corruption() {
+        let size = 80u64;
+        let word = encode_state(size, BlockState::Allocated);
+        assert_eq!(decode_state(size, word), Some(BlockState::Allocated));
+        // A flipped bit anywhere in the word fails the decode.
+        for bit in 0..64 {
+            assert_eq!(decode_state(size, word ^ (1 << bit)), None, "bit {bit}");
+        }
+        // A state word bound to a different size fails too (misdirected
+        // write detection), as do zeroed and garbage words.
+        assert_eq!(decode_state(96, word), None);
+        assert_eq!(decode_state(size, 0), None);
+        assert_eq!(decode_state(size, 0x1234), None);
     }
 }

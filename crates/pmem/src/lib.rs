@@ -59,6 +59,8 @@
 
 pub mod alloc;
 pub mod backend;
+pub mod corrupt;
+pub mod crc;
 pub mod layout;
 pub mod pool;
 pub mod pptr;
@@ -66,6 +68,8 @@ pub mod recovery;
 pub mod txn;
 
 pub use backend::{Backend, CrashOptions, CrashSim, FileBacked, Volatile};
+pub use corrupt::{CorruptOptions, FaultKind, InjectedFault};
+pub use crc::{crc32c, crc32c_u64s};
 pub use pool::PmemPool;
 pub use pptr::PPtr;
 pub use recovery::HeapAudit;

@@ -11,12 +11,13 @@ use crate::pool::PmemPool;
 /// Summary of a full heap walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HeapAudit {
-    /// Blocks with `STATE_ALLOCATED` headers.
+    /// Blocks whose state word decodes to `Allocated`.
     pub allocated_blocks: u64,
-    /// Blocks with `STATE_FREE` headers.
+    /// Blocks whose state word decodes to `Free`.
     pub free_blocks: u64,
-    /// Blocks whose state word is neither (header persisted, state torn) —
-    /// these are the "leak at most the in-flight block" cases.
+    /// Blocks whose state word fails to decode (unknown tag or CRC
+    /// mismatch — header persisted, state torn or media-corrupted). These
+    /// are the "leak at most the in-flight block" cases.
     pub indeterminate_blocks: u64,
     /// Payload bytes held by allocated blocks.
     pub allocated_bytes: u64,
@@ -41,16 +42,16 @@ pub fn audit(pool: &PmemPool) -> HeapAudit {
             break;
         }
         let payload = size - BLOCK_HEADER;
-        match pool.read_u64(cursor + 8) {
-            STATE_ALLOCATED => {
+        match decode_state(size, pool.read_u64(cursor + 8)) {
+            Some(BlockState::Allocated) => {
                 out.allocated_blocks += 1;
                 out.allocated_bytes += payload;
             }
-            STATE_FREE => {
+            Some(BlockState::Free) => {
                 out.free_blocks += 1;
                 out.free_bytes += payload;
             }
-            _ => out.indeterminate_blocks += 1,
+            None => out.indeterminate_blocks += 1,
         }
         cursor += size;
     }

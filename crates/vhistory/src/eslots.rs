@@ -15,6 +15,7 @@ impl ESeg {
             .map(|_| Entry {
                 version: AtomicU64::new(0),
                 value: AtomicU64::new(0),
+                crc: AtomicU64::new(0),
                 done: AtomicU64::new(0),
             })
             .collect();

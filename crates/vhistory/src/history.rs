@@ -78,6 +78,9 @@ impl<S: Slots> History<S> {
         // an extender CAS-released after Acquire-loading `done`).
         e.version.store(version, Ordering::Relaxed);
         e.value.store(value, Ordering::Relaxed);
+        // The integrity code rides the same persist_entry flush as the
+        // payload, so checksumming adds no fence to the append schedule.
+        e.crc.store(crate::slots::Entry::expected_crc(version, value), Ordering::Relaxed);
         self.slots.persist_entry(idx);
         idx
     }
@@ -189,6 +192,11 @@ impl<S: Slots> History<S> {
                 std::cmp::Ordering::Less => left = mid + 1,
                 std::cmp::Ordering::Greater => right = mid - 1,
                 std::cmp::Ordering::Equal => {
+                    // Verify-on-read: never surface a checksum-invalid
+                    // payload; fall back to a verified linear scan.
+                    if !e.crc_valid() {
+                        return self.find_raw_verified(version, t);
+                    }
                     return Some(e.value.load(Ordering::Relaxed)); // ordering: see above
                 }
             }
@@ -196,9 +204,38 @@ impl<S: Slots> History<S> {
         if right < 0 {
             None
         } else {
+            let e = self.slots.entry(right as u64);
+            if !e.crc_valid() {
+                return self.find_raw_verified(version, t);
+            }
             // ordering: same argument as the block comment above.
-            Some(self.slots.entry(right as u64).value.load(Ordering::Relaxed))
+            Some(e.value.load(Ordering::Relaxed))
         }
+    }
+
+    /// Fallback for [`History::find_raw`] when the binary search lands on a
+    /// checksum-invalid entry (latent media damage): a linear scan of the
+    /// visible prefix that considers only checksum-valid records. Corrupt
+    /// slots may also carry a corrupt *version* word, which breaks the
+    /// sortedness the binary search relies on — the linear scan does not.
+    #[cold]
+    fn find_raw_verified(&self, version: u64, t: u64) -> Option<u64> {
+        let mut best: Option<(u64, u64)> = None;
+        for idx in 0..t {
+            let e = self.slots.entry(idx);
+            if !e.crc_valid() {
+                mvkv_obs::counter_inc!("mvkv_vhistory_read_crc_rejects_total");
+                continue;
+            }
+            // ordering: idx < t, covered by the Acquire tail load (see
+            // find_raw's block comment).
+            let v = e.version.load(Ordering::Relaxed);
+            if v <= version && best.is_none_or(|(bv, _)| v >= bv) {
+                // ordering: idx < t, same Acquire tail cover as `v` above.
+                best = Some((v, e.value.load(Ordering::Relaxed)));
+            }
+        }
+        best.map(|(_, value)| value)
     }
 
     /// Decoded `find`: `None` if absent **or** tombstoned at `version`.
@@ -209,35 +246,45 @@ impl<S: Slots> History<S> {
         }
     }
 
-    /// The paper's `extract_history`: every visible record in version order.
+    /// The paper's `extract_history`: every visible record in version
+    /// order. Checksum-invalid records (latent media damage) are skipped,
+    /// never surfaced.
     pub fn records(&self, fc: u64) -> Vec<HistoryRecord> {
         let t = self.extend_tail(fc);
         (0..t)
-            .map(|i| {
+            .filter_map(|i| {
                 let e = self.slots.entry(i);
+                if !e.crc_valid() {
+                    mvkv_obs::counter_inc!("mvkv_vhistory_read_crc_rejects_total");
+                    return None;
+                }
                 // ordering: i < t, covered by the Acquire tail load in
                 // extend_tail (transitive happens-before via `done`).
-                HistoryRecord::from_raw(
+                Some(HistoryRecord::from_raw(
                     e.version.load(Ordering::Relaxed),
                     e.value.load(Ordering::Relaxed),
-                )
+                ))
             })
             .collect()
     }
 
-    /// The newest visible record, if any.
+    /// The newest visible checksum-valid record, if any.
     pub fn latest(&self, fc: u64) -> Option<HistoryRecord> {
         let t = self.extend_tail(fc);
-        if t == 0 {
-            return None;
+        for i in (0..t).rev() {
+            let e = self.slots.entry(i);
+            if !e.crc_valid() {
+                mvkv_obs::counter_inc!("mvkv_vhistory_read_crc_rejects_total");
+                continue;
+            }
+            // ordering: i < t, covered by the Acquire tail load in
+            // extend_tail (transitive happens-before via `done`).
+            return Some(HistoryRecord::from_raw(
+                e.version.load(Ordering::Relaxed),
+                e.value.load(Ordering::Relaxed),
+            ));
         }
-        let e = self.slots.entry(t - 1);
-        // ordering: t-1 < t, covered by the Acquire tail load in
-        // extend_tail (transitive happens-before via `done`).
-        Some(HistoryRecord::from_raw(
-            e.version.load(Ordering::Relaxed),
-            e.value.load(Ordering::Relaxed),
-        ))
+        None
     }
 }
 

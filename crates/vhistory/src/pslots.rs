@@ -3,17 +3,21 @@
 //! On-media layout (all fields 8-byte words, offsets pool-relative):
 //!
 //! ```text
-//! HistoryHdr (32 B):      Segment (32 B + cap·24 B):
+//! HistoryHdr (32 B):      Segment (32 B + cap·32 B):
 //!   +0  pending             +0  next segment offset (0 = none)
 //!   +8  tail                +8  capacity (entries)
 //!   +16 head segment        +16 base slot index
-//!   +24 reserved            +24 reserved
-//!                           +32 entries [version, value, done] × cap
+//!   +24 reserved            +24 CRC32C of (capacity, base)
+//!                           +32 entries [version, value, crc, done] × cap
 //! ```
 //!
 //! Segment geometry is deterministic (see [`crate::slots`]), so `capacity`
-//! and `base` are redundant — they are stored anyway and checked during
-//! recovery audits.
+//! and `base` are redundant — they are stored anyway, checksummed in the
+//! header word at +24, and verified by recovery walks ([`PHistory::
+//! try_entry`]): a segment whose recorded geometry disagrees with the
+//! deterministic expectation or whose header CRC fails is treated as
+//! unlinked, so a scrambled `next` pointer can never send recovery through
+//! out-of-bounds memory.
 
 use crate::slots::{locate, seg_base, seg_capacity, Entry, Slots, ENTRY_SIZE};
 use mvkv_pmem::{PPtr, PmemPool, Result};
@@ -56,6 +60,25 @@ impl<'p> PHistory<'p> {
     /// Wraps an existing history at `hdr` (e.g. found via the key chain).
     pub fn open(pool: &'p PmemPool, hdr: PPtr<HistoryHdr>) -> Self {
         PHistory { pool, hdr: hdr.off() }
+    }
+
+    /// [`PHistory::open`] with bounds validation: a history offset read
+    /// from corrupt media (e.g. a bit-flipped key-chain pair) must not
+    /// cause an out-of-bounds header access. Returns `None` when `hdr`
+    /// cannot hold a whole header inside the pool; deeper damage (garbage
+    /// counters, unlinked segments) is tolerated by the checked accessors
+    /// and classified by the recovery scan instead.
+    pub fn open_checked(pool: &'p PmemPool, hdr: PPtr<HistoryHdr>) -> Option<Self> {
+        let off = hdr.off();
+        if off == 0
+            || !off.is_multiple_of(8)
+            || off
+                .checked_add(HISTORY_HDR_SIZE as u64)
+                .is_none_or(|end| end > pool.len() as u64)
+        {
+            return None;
+        }
+        Some(PHistory { pool, hdr: off })
     }
 
     /// The persistent pointer to this history's header.
@@ -111,6 +134,7 @@ impl<'p> PHistory<'p> {
         unsafe { self.pool.write_bytes(off, &vec![0u8; bytes as usize]) };
         self.pool.write_u64(off + 8, cap);
         self.pool.write_u64(off + 16, seg_base(k));
+        self.pool.write_u64(off + 24, mvkv_pmem::crc32c_u64s(&[cap, seg_base(k)]) as u64);
         self.pool.persist(off, bytes as usize);
         self.pool.fence();
         let link = self.pool.atomic_u64(link_off);
@@ -134,22 +158,41 @@ impl<'p> PHistory<'p> {
         self.segment_off(k) + SEG_HDR_SIZE + pos * ENTRY_SIZE as u64
     }
 
+    /// True if `seg` is a plausible, uncorrupted segment for `level`:
+    /// in bounds for the level's full entry array, 8-aligned, recorded
+    /// geometry matching the deterministic expectation, and header CRC
+    /// valid. Recovery relies on this to survive scrambled link words —
+    /// every check runs *before* any dereference of the candidate offset.
+    fn segment_header_ok(&self, level: u32, seg: u64) -> bool {
+        let cap = seg_capacity(level);
+        let bytes = SEG_HDR_SIZE + cap * ENTRY_SIZE as u64;
+        seg.is_multiple_of(8)
+            && seg.checked_add(bytes).is_some_and(|end| end <= self.pool.len() as u64)
+            && self.pool.read_u64(seg + 8) == cap
+            && self.pool.read_u64(seg + 16) == seg_base(level)
+            && self.pool.read_u64(seg + 24)
+                == mvkv_pmem::crc32c_u64s(&[cap, seg_base(level)]) as u64
+    }
+
     /// Like [`Slots::entry`] but returns `None` instead of allocating when
-    /// the backing segment was never linked — recovery walks use this to
-    /// avoid materializing segments for torn claims.
+    /// the backing segment was never linked **or** fails its header
+    /// validation (out-of-bounds link, torn or corrupt header) — recovery
+    /// walks use this to avoid materializing segments for torn claims and
+    /// to stay memory-safe on media-corrupted chains.
     pub fn try_entry(&self, idx: u64) -> Option<&Entry> {
         let (k, pos) = locate(idx);
         let mut link_off = self.hdr + 16;
         let mut seg = 0u64;
-        for _ in 0..=k {
+        for level in 0..=k {
             seg = self.pool.atomic_u64(link_off).load(Ordering::Acquire);
-            if seg == 0 {
+            if seg == 0 || !self.segment_header_ok(level, seg) {
                 return None;
             }
             link_off = seg;
         }
         let off = seg + SEG_HDR_SIZE + pos * ENTRY_SIZE as u64;
-        // SAFETY: in-bounds, aligned, all-atomic Entry.
+        // SAFETY: segment_header_ok bounds-checked the whole entry array;
+        // the offset is 8-aligned and Entry is all-atomic words.
         Some(unsafe { self.pool.typed::<Entry>(off) })
     }
 
@@ -199,11 +242,11 @@ impl<'p> Slots for PHistory<'p> {
     // append / append_prepare + append_publish).
 
     fn persist_entry(&self, idx: u64) {
-        self.pool.persist(self.entry_off(idx), 16);
+        self.pool.persist(self.entry_off(idx), 24);
     }
 
     fn persist_done(&self, idx: u64) {
-        self.pool.persist(self.entry_off(idx) + 16, 8);
+        self.pool.persist(self.entry_off(idx) + 24, 8);
     }
 
     fn persist_tail(&self) {
@@ -319,9 +362,41 @@ mod tests {
         while seg != 0 {
             assert_eq!(p.read_u64(seg + 8), seg_capacity(k));
             assert_eq!(p.read_u64(seg + 16), seg_base(k));
+            assert_eq!(
+                p.read_u64(seg + 24),
+                mvkv_pmem::crc32c_u64s(&[seg_capacity(k), seg_base(k)]) as u64,
+                "segment {k} header crc"
+            );
             seg = p.read_u64(seg);
             k += 1;
         }
         assert!(k >= 3, "20 slots need segments of 2+4+8+...");
+    }
+
+    #[test]
+    fn try_entry_rejects_corrupt_segment_links() {
+        let p = pool();
+        let h = PHistory::create(&p).unwrap();
+        for i in 0..6u64 {
+            let idx = h.claim();
+            let e = h.entry(idx);
+            e.version.store(i + 1, Ordering::Relaxed);
+            e.done.store(i + 2, Ordering::Release);
+        }
+        assert!(h.try_entry(3).is_some());
+        // Scramble segment 1's header crc: its slots become unreachable to
+        // recovery, segment 0's stay fine.
+        let (_, _, seg0) = h.raw_header();
+        let seg1 = p.read_u64(seg0);
+        let good_crc = p.read_u64(seg1 + 24);
+        p.write_u64(seg1 + 24, good_crc ^ 0xFF);
+        assert!(h.try_entry(1).is_some(), "segment 0 unaffected");
+        assert!(h.try_entry(3).is_none(), "corrupt header must fence off the segment");
+        p.write_u64(seg1 + 24, good_crc);
+        // An out-of-bounds next pointer must be rejected before any deref.
+        p.write_u64(seg0, p.len() as u64 + 8);
+        assert!(h.try_entry(3).is_none(), "out-of-bounds link must be rejected");
+        p.write_u64(seg0, 0xDEAD_BEEF_0000); // garbage beyond the pool
+        assert!(h.try_entry(3).is_none());
     }
 }

@@ -27,29 +27,69 @@ pub struct PrefixScan {
     pub versions: Vec<u64>,
 }
 
+/// Why a prefix scan stopped where it did — the checked scan's
+/// classification, used by salvage recovery to distinguish ordinary torn
+/// appends (expected after any crash) from media corruption (quarantined
+/// and reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStop {
+    /// Every claimed slot was published and valid.
+    Exhausted,
+    /// A slot had no `done` stamp — a torn append, the normal crash case.
+    Unpublished,
+    /// The backing segment was never linked, or its header failed
+    /// validation (out-of-bounds link / torn or corrupt header).
+    Unlinked,
+    /// A `done` stamp disagreed with its version, or versions broke
+    /// monotonicity — torn metadata.
+    TornStamp,
+    /// The slot was fully published but its payload failed the CRC check —
+    /// media corruption of a committed record.
+    ChecksumInvalid,
+}
+
 /// Walks slots from 0 and returns the contiguous published prefix. Stops at
 /// the first slot whose `done` stamp is missing, whose backing segment was
-/// never linked, or whose version breaks monotonicity (torn metadata).
+/// never linked, whose version breaks monotonicity (torn metadata), or
+/// whose payload fails its CRC (media corruption).
 pub fn scan_published_prefix(h: &PHistory<'_>) -> PrefixScan {
+    scan_published_prefix_checked(h).0
+}
+
+/// [`scan_published_prefix`] plus the reason the walk stopped — salvage
+/// recovery uses the classification to build its quarantine report.
+pub fn scan_published_prefix_checked(h: &PHistory<'_>) -> (PrefixScan, ScanStop) {
     let pending = h.pending();
     let mut versions = Vec::new();
     let mut last = 0u64;
+    let mut stop = ScanStop::Exhausted;
     for idx in 0..pending {
-        let Some(e) = h.try_entry(idx) else { break };
+        let Some(e) = h.try_entry(idx) else {
+            stop = ScanStop::Unlinked;
+            break;
+        };
         let done = e.done.load(Ordering::Acquire);
         if done == 0 {
+            stop = ScanStop::Unpublished;
             break;
         }
         // ordering: `done` was Acquire-loaded above; the stamp check
         // below rejects any torn or unpublished value anyway.
         let version = e.version.load(Ordering::Relaxed);
-        if done != version + 1 || (idx > 0 && version <= last) {
-            break; // inconsistent stamp — treat as torn
+        // checked_add: a scrambled version word can read u64::MAX, and
+        // `version + 1` must classify as torn, not overflow.
+        if version.checked_add(1) != Some(done) || (idx > 0 && version <= last) {
+            stop = ScanStop::TornStamp;
+            break;
+        }
+        if !e.crc_valid() {
+            stop = ScanStop::ChecksumInvalid;
+            break;
         }
         versions.push(version);
         last = version;
     }
-    PrefixScan { len: versions.len() as u64, versions }
+    (PrefixScan { len: versions.len() as u64, versions }, stop)
 }
 
 /// Outcome of pruning one history.
@@ -70,7 +110,10 @@ pub fn prune_to_watermark(h: &PHistory<'_>, watermark: u64) -> PruneOutcome {
     for idx in 0..old_pending {
         let Some(e) = h.try_entry(idx) else { break };
         let done = e.done.load(Ordering::Acquire);
-        if done == 0 || done - 1 > watermark {
+        // A checksum-invalid slot is never kept, even below the watermark —
+        // its version can't have contributed to the watermark (the checked
+        // scan stopped at it), and keeping it would surface corrupt data.
+        if done == 0 || done - 1 > watermark || !e.crc_valid() {
             break;
         }
         keep += 1;
@@ -78,21 +121,29 @@ pub fn prune_to_watermark(h: &PHistory<'_>, watermark: u64) -> PruneOutcome {
     // Clear orphaned done stamps on slots that still have backing storage.
     // persist_done is flush-only under the coalesced schedule, so close the
     // batch with one explicit fence before the slots can be reused.
+    // Stop at the first unlinked slot: segments are reached by walking the
+    // chain, so nothing beyond a missing link has storage — and a corrupt
+    // `pending` counter can be astronomically large, so the loop must not
+    // trust it as a real slot count.
     let mut cleared = false;
+    let mut end = keep;
     for idx in keep..old_pending {
-        if let Some(e) = h.try_entry(idx) {
-            if e.done.load(Ordering::Acquire) != 0 {
-                e.done.store(0, Ordering::Release);
-                h.persist_done(idx);
-                cleared = true;
-            }
+        let Some(e) = h.try_entry(idx) else { break };
+        end = idx + 1;
+        if e.done.load(Ordering::Acquire) != 0 {
+            e.done.store(0, Ordering::Release);
+            h.persist_done(idx);
+            cleared = true;
         }
     }
     if cleared {
         h.publish_fence();
     }
     h.force_counters(keep, keep);
-    PruneOutcome { kept: keep, pruned: old_pending - keep }
+    // `pruned` counts slots that actually had backing storage: a corrupt
+    // `pending` counter claims slots that never existed, and reporting
+    // those would overflow downstream accumulators.
+    PruneOutcome { kept: keep, pruned: end - keep }
 }
 
 /// Computes the global watermark from per-history scans: the largest `v`

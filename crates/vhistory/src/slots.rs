@@ -8,26 +8,53 @@
 
 use mvkv_sync::sync::atomic::{AtomicU64, Ordering};
 
-/// Size of one slot entry in bytes (three u64 words).
-pub const ENTRY_SIZE: usize = 24;
+/// Size of one slot entry in bytes (four u64 words).
+pub const ENTRY_SIZE: usize = 32;
 
-/// One history slot. `version`/`value` are published before `done`
-/// (Release), so observing `done != 0` (Acquire) guarantees both are valid.
-/// `done` stores `version + 1` — the paper's non-zero "finished" stamp,
-/// which recovery uses to find the durable contiguous prefix.
+/// One history slot. `version`/`value`/`crc` are published before `done`
+/// (Release), so observing `done != 0` (Acquire) guarantees all three are
+/// valid. `done` stores `version + 1` — the paper's non-zero "finished"
+/// stamp, which recovery uses to find the durable contiguous prefix. `crc`
+/// is the CRC32C of `(version, value)`, written during the prepare half of
+/// the append so it rides the existing entry persist — no extra fence.
+/// Recovery and verify-on-read reject entries whose stored `crc` does not
+/// match the payload (media corruption).
 ///
 /// pm-resident: cast onto pool bytes by `PHistory` segments; audited by
-/// `xtask analyze` against `pm_layout.lock`.
+/// `xtask analyze` against `pm_layout.lock`. expects-crc: payload integrity
+/// code required on this record type.
 #[repr(C)]
 pub struct Entry {
     pub version: AtomicU64,
     pub value: AtomicU64,
+    pub crc: AtomicU64,
     pub done: AtomicU64,
 }
 
 const _: () = assert!(std::mem::size_of::<Entry>() == ENTRY_SIZE);
 
 impl Entry {
+    /// The integrity code for a `(version, value)` payload: CRC32C,
+    /// widened to the slot's u64 word (high half zero).
+    #[inline]
+    pub fn expected_crc(version: u64, value: u64) -> u64 {
+        mvkv_pmem::crc32c_u64s(&[version, value]) as u64
+    }
+
+    /// True if the stored `crc` matches the stored payload.
+    ///
+    /// Sound for any published slot (or any slot whose publication
+    /// happened-before this load): the payload words are immutable after
+    /// the Release `done` store.
+    #[inline]
+    pub fn crc_valid(&self) -> bool {
+        // ordering: callers only verify slots already covered by an Acquire
+        // edge (done/tail), so Relaxed payload loads observe final values.
+        let version = self.version.load(Ordering::Relaxed);
+        let value = self.value.load(Ordering::Relaxed);
+        self.crc.load(Ordering::Relaxed) == Self::expected_crc(version, value)
+    }
+
     /// Loads the entry if its write has been published.
     #[inline]
     pub fn load_if_done(&self) -> Option<(u64, u64)> {
@@ -54,7 +81,7 @@ pub trait Slots {
     fn entry(&self, idx: u64) -> &Entry;
     /// The lazily advanced tail counter (first not-yet-visible slot index).
     fn tail_ref(&self) -> &AtomicU64;
-    /// Flushes entry `idx`'s `(version, value)` words.
+    /// Flushes entry `idx`'s `(version, value, crc)` words.
     fn persist_entry(&self, _idx: u64) {}
     /// Flushes entry `idx`'s `done` stamp.
     fn persist_done(&self, _idx: u64) {}
@@ -125,13 +152,45 @@ mod tests {
         let e = Entry {
             version: AtomicU64::new(0),
             value: AtomicU64::new(0),
+            crc: AtomicU64::new(0),
             done: AtomicU64::new(0),
         };
         assert_eq!(e.load_if_done(), None);
         e.version.store(7, Ordering::Relaxed);
         e.value.store(99, Ordering::Relaxed);
+        e.crc.store(Entry::expected_crc(7, 99), Ordering::Relaxed);
         assert_eq!(e.load_if_done(), None, "not visible before done stamp");
         e.done.store(8, Ordering::Release);
         assert_eq!(e.load_if_done(), Some((7, 99)));
+        assert!(e.crc_valid());
+    }
+
+    #[test]
+    fn crc_rejects_damaged_payload() {
+        let e = Entry {
+            version: AtomicU64::new(7),
+            value: AtomicU64::new(99),
+            crc: AtomicU64::new(Entry::expected_crc(7, 99)),
+            done: AtomicU64::new(8),
+        };
+        assert!(e.crc_valid());
+        // Any single damaged word invalidates the record.
+        e.value.store(98, Ordering::Relaxed);
+        assert!(!e.crc_valid());
+        e.value.store(99, Ordering::Relaxed);
+        e.version.store(6, Ordering::Relaxed);
+        assert!(!e.crc_valid());
+        e.version.store(7, Ordering::Relaxed);
+        e.crc.store(0, Ordering::Relaxed);
+        assert!(!e.crc_valid());
+        // A fully zeroed record (zeroed-block fault) never validates:
+        // crc32c(0, 0) != 0.
+        let z = Entry {
+            version: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+            crc: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+        };
+        assert!(!z.crc_valid());
     }
 }

@@ -31,6 +31,10 @@ pub const RESIDENT_MARKER: &str = "pm-resident";
 /// Marker that exempts a PM struct from the repr/field rules (fingerprint
 /// still enforced). Must carry a parenthesized rationale.
 pub const EXEMPT_MARKER: &str = "pm-layout-exempt(";
+/// Marker declaring that a PM record type carries a payload integrity
+/// code: the audit requires a `crc`-named field so the protection can't be
+/// silently dropped in a refactor.
+pub const EXPECTS_CRC_MARKER: &str = "expects-crc";
 
 /// Field types with a known, stable, position-independent layout. The
 /// `mvkv-sync` atomics are `#[repr(transparent)]` over the std atomics,
@@ -68,6 +72,9 @@ pub struct StructDef {
     /// workspace type references for transitive discovery).
     pub referenced: Vec<String>,
     pub marked_resident: bool,
+    /// True if the docs carry `expects-crc` — the struct must then declare
+    /// a `crc`-named field.
+    pub expects_crc: bool,
     /// `Some(reason)` if the docs carry `pm-layout-exempt(reason)`.
     pub exempt: Option<String>,
 }
@@ -275,6 +282,7 @@ fn parse_struct(
             fields,
             referenced,
             marked_resident: doc_all.contains(RESIDENT_MARKER),
+            expects_crc: doc_all.contains(EXPECTS_CRC_MARKER),
             exempt,
         }),
         j,
@@ -460,6 +468,19 @@ pub fn audit(all: &[StructDef]) -> (Vec<StructDef>, Vec<LayoutFinding>) {
                     "PM-resident `{}` has no stable repr — add #[repr(C)] or \
                      #[repr(transparent)] so its layout survives pool reopen across \
                      compilers, or mark it `pm-layout-exempt(<why>)`",
+                    d.name
+                ),
+            });
+        }
+        if d.expects_crc && !d.fields.iter().any(|(n, _)| n.to_lowercase().contains("crc")) {
+            findings.push(LayoutFinding {
+                file: d.file.clone(),
+                line: d.line,
+                symbol: format!("type:{}", d.name),
+                msg: format!(
+                    "`{}` is marked expects-crc but declares no `crc` field — its records \
+                     would persist without an integrity code; restore the field or remove \
+                     the marker (and the corruption protection claim) deliberately",
                     d.name
                 ),
             });
@@ -704,6 +725,26 @@ mod tests {
                 findings.iter().map(|f| &f.msg).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn expects_crc_requires_a_crc_field() {
+        let src = "
+            /// pm-resident record. expects-crc: payload integrity code.
+            #[repr(C)]
+            struct Rec { version: u64, value: u64, done: u64 }
+        ";
+        let (_, findings) = audit(&defs(src));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].msg.contains("expects-crc"), "{}", findings[0].msg);
+
+        let src = "
+            /// pm-resident record. expects-crc: payload integrity code.
+            #[repr(C)]
+            struct Rec { version: u64, value: u64, crc: u64, done: u64 }
+        ";
+        let (_, findings) = audit(&defs(src));
+        assert!(findings.is_empty(), "{:?}", findings.iter().map(|f| &f.msg).collect::<Vec<_>>());
     }
 
     #[test]
