@@ -216,7 +216,7 @@ fn alloc_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("alloc_contention");
     group.sample_size(10);
     let pool = PmemPool::create_volatile(1 << 28).expect("pool");
-    for threads in [1usize, 4, 8] {
+    for threads in [1usize, 4, 8, 16] {
         group.bench_function(format!("churn_64B_{threads}t"), |b| {
             b.iter(|| {
                 std::thread::scope(|s| {
@@ -251,7 +251,7 @@ fn insert_batch_ops(c: &mut Criterion) {
     // fixed-size pools comfortably hold the accumulated histories.
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for threads in [1usize, 4, 8] {
+    for threads in [1usize, 4, 8, 16] {
         group.bench_function(format!("pskiplist_batch64_{threads}t"), |b| {
             let store = mvkv_core::PSkipList::create_volatile(1 << 28).expect("store");
             let mut base = 0u64;

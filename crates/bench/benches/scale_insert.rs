@@ -1,0 +1,67 @@
+//! Write-path scaling curve — the ROADMAP's "8-thread cliff" experiment.
+//!
+//! Single-key inserts of fresh keys, strong scaling over thread count
+//! (default 1..64, override with `MVKV_BENCH_T`). Unlike `micro_ops` (a
+//! criterion bench with per-iteration thread spawns) this harness measures
+//! one long timed phase per thread count with persistent worker threads, so
+//! the number isolates the store's write-path contention rather than
+//! spawn/join overhead.
+//!
+//! Each thread count is repeated `MVKV_BENCH_REPS` times (default 3) and
+//! the best run is reported — scaling curves measure capacity, and the
+//! max filters scheduler noise on shared CI boxes.
+//!
+//! Rows land in `MVKV_OUT` with the `PSkipList-scale` approach tag; CI's
+//! bench-smoke job gates on the 8-thread / 4-thread throughput ratio.
+
+use mvkv_bench::{pool_bytes_for, report, secs, timed_phase, Row, TempArtifacts};
+use mvkv_core::{PSkipList, StoreSession};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("MVKV_BENCH_T") {
+        Ok(v) => v.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        Err(_) => vec![1, 2, 4, 8, 16, 32, 64],
+    }
+}
+
+fn main() {
+    let n = env_usize("MVKV_BENCH_N", 20_000);
+    let reps = env_usize("MVKV_BENCH_REPS", 3);
+    let threads = thread_counts();
+    let mut rows = Vec::new();
+    for &t in &threads {
+        let mut best = 0.0f64;
+        for rep in 0..reps.max(1) {
+            let mut arts = TempArtifacts::new();
+            let path = arts.path(&format!("scale-insert-{t}-{rep}.pool"));
+            let store = PSkipList::create_file(path, pool_bytes_for(n)).expect("pool creation");
+            // Fresh disjoint keys per thread: tid in the high bits so the
+            // write path pays the full new-key cost (history + chain link).
+            let work: Vec<Vec<u64>> = (0..t as u64)
+                .map(|tid| {
+                    let per = n / t;
+                    (0..per as u64).map(|i| (tid << 40) | i).collect()
+                })
+                .collect();
+            let elapsed = timed_phase(&store, &work, |s, &key| {
+                s.insert(key, key ^ 0xFF);
+            });
+            let done = work.iter().map(Vec::len).sum::<usize>() as f64;
+            best = best.max(done / secs(elapsed));
+        }
+        eprintln!("[scale] PSkipList T={t}: {best:.0} ops/s (best of {reps})");
+        rows.push(Row {
+            figure: "scale",
+            approach: "PSkipList-scale".into(),
+            x: t as u64,
+            metric: "insert_ops_per_sec",
+            value: best,
+            unit: "ops/s",
+        });
+    }
+    report("scale", "single-insert strong scaling (fresh keys, persistent workers)", &rows);
+}

@@ -236,7 +236,15 @@ impl<'p> KeyChain<'p> {
                 self.pool.write_u64(pair, key);
                 self.pool.atomic_u64(pair + 8).store(encode_pair(key, hist), Ordering::Release);
                 self.pool.persist(pair, PAIR_SIZE as usize);
-                self.pool.fence();
+                // Deliberately NO fence between the pair persist and the
+                // count bump (MOD minimal-ordering audit, DESIGN.md §13).
+                // The pair only matters once the caller's durable publish
+                // (version stamp / batch done-flag) references the history,
+                // and that publish's own fence — issued by this same thread
+                // — orders the pair flush first. Until then a crash may
+                // leave the count ahead of a torn pair: `len()` is
+                // documented approximate, the CRC'd pair encoding rejects
+                // the tear, and `repair()` recomputes the true count.
                 self.pool.atomic_u64(self.hdr + 16).fetch_add(1, Ordering::AcqRel);
                 self.pool.persist(self.hdr + 16, 8);
                 return Ok(());

@@ -7,13 +7,17 @@
 //! * Small requests are rounded to a size class; freed class blocks go to
 //!   volatile per-class free lists (rebuilt by scanning on every open).
 //! * The free lists are **sharded**: each thread is pinned to one of
-//!   [`NUM_SHARDS`] arenas (`thread-id % NUM_SHARDS`) and allocates from its
-//!   own shard's lists without contending with other shards. A miss first
-//!   tries to *steal* from sibling shards, and only then falls back to the
-//!   global bump cursor — where it grabs a whole **batch** of same-class
-//!   blocks per cursor CAS ([`REFILL_BATCH`]), parking the extras in its own
-//!   shard. This amortizes both the cursor contention and the header
-//!   persists across the batch (cf. per-thread PM arenas in Marathe et al.,
+//!   [`num_shards`] arenas sized from the machine's core count and
+//!   allocates from its own shard's lists without contending with other
+//!   shards. A miss first tries to *steal* from sibling shards — a bounded
+//!   randomized probe, then a sweep guided by per-shard emptiness hints —
+//!   moving **half the victim's list** per steal so one lock acquisition
+//!   amortizes over many future allocations. Only then does it fall back
+//!   to the global bump cursor, grabbing a whole **batch** of same-class
+//!   blocks per cursor CAS ([`REFILL_BATCH`], growing adaptively while a
+//!   shard refills back-to-back), parking the extras in its own shard.
+//!   This amortizes both the cursor contention and the header persists
+//!   across the batch (cf. per-thread PM arenas in Marathe et al.,
 //!   *Persistent Memory Transactions*).
 //! * Large requests (> 4 KiB payload) bump-allocate exactly; freed large
 //!   blocks go to a volatile best-fit map (global — large allocations are
@@ -26,8 +30,19 @@
 //! persists is covered by a durable header. A crash between cursor advance
 //! and header persist leaks at most the in-flight batch; the open-time scan
 //! stops at the first invalid header and re-bases the cursor there. Batch
-//! refill pre-carves the extra blocks with durable free-state headers, so
-//! a crash after the fence leaves them walkable and reusable.
+//! refill pre-carves the extra blocks with durable free-state headers and
+//! **fences** before parking them: the extras are handed to other threads
+//! through the steal path, so their durability cannot ride a later fence of
+//! the allocating thread alone.
+//!
+//! Free↔allocated state *flips*, by contrast, are flushed but **not**
+//! fenced (the MOD minimal-ordering argument, Friedman et al.): a block's
+//! state only matters once some durable structure references it, every
+//! reference is created by the thread that obtained the block, and that
+//! thread's own publish fence orders the earlier state flush. Until then a
+//! stale state word merely leaks the block (`Allocated` with no referent)
+//! or re-frees it (`Free` with no referent) — both recovered by the
+//! leak-at-most heap scan. See DESIGN.md §13 for the full audit.
 //!
 //! State words are CRC-folded ([`encode_state`] /
 //! [`decode_state`]): the tag rides the high half, a CRC32C over
@@ -42,27 +57,98 @@ use mvkv_sync::sync::atomic::{AtomicU64, Ordering};
 use mvkv_sync::sync::Mutex;
 use std::collections::BTreeMap;
 
-/// Number of allocation arenas. Threads map onto shards round-robin, so up
-/// to this many allocating threads proceed without touching a shared lock.
-pub const NUM_SHARDS: usize = 8;
-
-/// Class blocks carved from the bump cursor per refill CAS. The batch
-/// shrinks (8 → 4 → 2 → 1) when the heap tail is too small for a full one.
+/// Class blocks carved from the bump cursor per refill CAS, before adaptive
+/// growth. The batch shrinks (8 → 4 → 2 → 1) when the heap tail is too
+/// small for a full one, and doubles (up to [`MAX_REFILL_BATCH`]) while a
+/// shard keeps refilling with no free-list hit in between.
 pub const REFILL_BATCH: u64 = 8;
 
-/// Returns this thread's shard index. Assigned once per thread from a
-/// global round-robin counter — the `thread-id % N` scheme of the issue,
-/// with ids dense by construction so shards load-balance.
+/// Upper bound for the adaptively grown refill batch.
+pub const MAX_REFILL_BATCH: u64 = 64;
+
+/// Consecutive refills (per shard, no intervening hit) before the batch
+/// doubles once more.
+const REFILL_STREAK_WINDOW: u64 = 4;
+
+/// Sibling shards probed at random before the guided full sweep.
+const STEAL_PROBES: usize = 2;
+
+/// Number of allocation arenas: the machine's available parallelism,
+/// rounded up to a power of two and clamped to `[4, 64]` (a floor of four
+/// keeps free-then-steal locality even on tiny CI boxes; 64 matches the
+/// paper's maximum thread count). Computed once per process.
+#[cfg(not(loom))]
+pub fn num_shards() -> usize {
+    static SHARDS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        mvkv_sync::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .next_power_of_two()
+            .clamp(4, 64)
+    })
+}
+
+/// Under the model checker the shard count must be small and constant so
+/// the interesting races (more threads than shards, refill-vs-steal) stay
+/// inside loom's schedule budget.
+#[cfg(loom)]
+pub fn num_shards() -> usize {
+    2
+}
+
+#[cfg(not(loom))]
+mod shard_slot {
+    //! Thread → shard-slot assignment with id recycling.
+    //!
+    //! Ids come from a free-list replenished by a per-thread drop guard, so
+    //! the live id range stays as dense as the *concurrent* thread count:
+    //! a process that churns short-lived workers (tests, thread-per-request
+    //! servers) no longer marches a monotone counter around the ring and
+    //! piles late threads onto the same few shards.
+
+    use mvkv_sync::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    static FREE_IDS: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+    struct SlotGuard(usize);
+
+    impl Drop for SlotGuard {
+        fn drop(&mut self) {
+            if let Ok(mut free) = FREE_IDS.lock() {
+                free.push(self.0);
+            }
+        }
+    }
+
+    fn acquire() -> usize {
+        if let Ok(mut free) = FREE_IDS.lock() {
+            if let Some(id) = free.pop() {
+                return id;
+            }
+        }
+        // ordering: id handout only needs uniqueness, nothing is published.
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    thread_local! {
+        static SLOT: SlotGuard = SlotGuard(acquire());
+    }
+
+    /// This thread's raw slot id (dense across concurrently live threads).
+    /// Falls back to 0 during thread teardown, when the slot's TLS entry
+    /// may already be destroyed.
+    pub fn id() -> usize {
+        SLOT.try_with(|s| s.0).unwrap_or(0)
+    }
+}
+
+/// Returns this thread's shard index.
 #[cfg(not(loom))]
 fn shard_id() -> usize {
-    use mvkv_sync::sync::atomic::AtomicUsize;
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        // ordering: shard assignment only needs distinct ids; nothing else
-        // is published through this counter.
-        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS;
-    }
-    SHARD.with(|s| *s)
+    // num_shards() is a power of two, so the modulo folds to a mask.
+    shard_slot::id() % num_shards()
 }
 
 /// Under the model checker the shard must be a pure function of the model
@@ -71,25 +157,121 @@ fn shard_id() -> usize {
 /// non-reproducible.
 #[cfg(loom)]
 fn shard_id() -> usize {
-    mvkv_sync::model_thread_index().unwrap_or(0) % NUM_SHARDS
+    mvkv_sync::model_thread_index().unwrap_or(0) % num_shards()
+}
+
+/// Cheap per-thread RNG for steal-victim selection and backoff jitter.
+/// Seeded from the thread's slot id so streams differ across threads while
+/// staying deterministic per thread.
+#[cfg(not(loom))]
+fn probe_rand() -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0) };
+    }
+    STATE.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            x = (shard_slot::id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x
+    })
 }
 
 /// One allocation arena: per-class free lists plus traffic counters.
+///
+/// Aligned to two cache lines so one shard's counters never false-share
+/// with a neighbor's — the hit counter is bumped on every fast-path alloc,
+/// and with the shards packed in one array an unpadded layout puts eight
+/// shards' counters on a handful of lines.
+#[repr(align(128))]
 struct Shard {
     class_free: [Mutex<Vec<u64>>; NUM_CLASSES],
+    /// Bit `c` set ⇔ `class_free[c]` may be non-empty. Maintained under the
+    /// class lock; read lock-free by the steal path so empty siblings cost
+    /// one atomic load instead of a lock acquisition.
+    nonempty: AtomicU64,
     hits: AtomicU64,
     refills: AtomicU64,
     steals: AtomicU64,
+    /// Consecutive "tight" refills (at most one batch worth of list serves
+    /// between them — i.e. nothing but the previous batch's own extras fed
+    /// the list, no frees or steals arrived); drives adaptive batch growth.
+    refill_streak: AtomicU64,
+    /// `hits + steals` observed at the previous refill.
+    serves_at_last_refill: AtomicU64,
+    /// Size of the previous refill batch.
+    last_batch: AtomicU64,
 }
 
 impl Shard {
     fn new() -> Self {
         Shard {
             class_free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            nonempty: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             refills: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            refill_streak: AtomicU64::new(0),
+            serves_at_last_refill: AtomicU64::new(0),
+            last_batch: AtomicU64::new(REFILL_BATCH),
         }
+    }
+
+    /// Pops one block of `class`, maintaining the emptiness hint.
+    fn pop(&self, class: usize) -> Option<u64> {
+        // ordering: advisory emptiness hint; the lock orders list contents.
+        if self.nonempty.load(Ordering::Relaxed) & (1 << class) == 0 {
+            return None;
+        }
+        let mut list = self.class_free[class].lock();
+        let off = list.pop();
+        if list.is_empty() {
+            // ordering: hint cleared under the same lock that emptied the
+            // list, so a clear bit can never hide a present block.
+            self.nonempty.fetch_and(!(1 << class), Ordering::Relaxed);
+        }
+        off
+    }
+
+    /// Pushes blocks of `class`, maintaining the emptiness hint.
+    fn push(&self, class: usize, offs: impl IntoIterator<Item = u64>) {
+        let mut list = self.class_free[class].lock();
+        list.extend(offs);
+        if !list.is_empty() {
+            // ordering: advisory hint; set under the list lock.
+            self.nonempty.fetch_or(1 << class, Ordering::Relaxed);
+        }
+    }
+
+    /// Steals the newer half of this shard's `class` list (at least one
+    /// block): one returned for immediate use, the rest for the thief's own
+    /// shard. Bulk movement is the point — a single victim-lock acquisition
+    /// funds many future fast-path hits instead of one.
+    fn steal_half(&self, class: usize) -> Option<(u64, Vec<u64>)> {
+        // ordering: advisory emptiness hint; the lock orders list contents.
+        if self.nonempty.load(Ordering::Relaxed) & (1 << class) == 0 {
+            return None;
+        }
+        let mut list = self.class_free[class].lock();
+        if list.is_empty() {
+            // ordering: hint cleared under the list lock (see pop).
+            self.nonempty.fetch_and(!(1 << class), Ordering::Relaxed);
+            return None;
+        }
+        let keep = list.len() / 2;
+        let mut taken = list.split_off(keep);
+        if list.is_empty() {
+            // ordering: hint cleared under the list lock (see pop).
+            self.nonempty.fetch_and(!(1 << class), Ordering::Relaxed);
+        }
+        drop(list);
+        let first = taken.pop().expect("split keeps at least one block");
+        Some((first, taken))
     }
 }
 
@@ -101,7 +283,10 @@ impl Shard {
 /// than performed" no matter how it interleaves with concurrent updates
 /// (the read-during-update race the old two-counter scheme had).
 pub struct Allocator {
-    shards: [Shard; NUM_SHARDS],
+    /// One arena per `num_shards()` — sized at construction, never resized,
+    /// so per-shard counter reads in [`Allocator::stats`] are plain atomic
+    /// loads with no bounds hazard when the count differs across builds.
+    shards: Box<[Shard]>,
     /// Freed large blocks: total block size → payload offsets.
     large_free: Mutex<BTreeMap<u64, Vec<u64>>>,
     live_blocks: AtomicU64,
@@ -111,7 +296,14 @@ pub struct Allocator {
 }
 
 /// Counters describing allocator health.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The per-shard vectors are sized `num_shards()` at snapshot time — the
+/// shard count is a runtime property of the machine, not a compile-time
+/// constant, so fixed arrays would tear on machines with more cores than
+/// the array holds. Each vector element is a single atomic load; the
+/// `total_allocs` sum is derived from exactly those loads, keeping the
+/// snapshot internally consistent under concurrent allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocStats {
     /// Bytes from heap start to the bump cursor.
     pub heap_used: u64,
@@ -128,11 +320,11 @@ pub struct AllocStats {
     /// Lifetime free count (this process).
     pub total_frees: u64,
     /// Per-shard allocations served from the shard's own free lists.
-    pub shard_hits: [u64; NUM_SHARDS],
+    pub shard_hits: Vec<u64>,
     /// Per-shard batched refills from the bump cursor.
-    pub shard_refills: [u64; NUM_SHARDS],
+    pub shard_refills: Vec<u64>,
     /// Per-shard allocations served by stealing from a sibling shard.
-    pub shard_steals: [u64; NUM_SHARDS],
+    pub shard_steals: Vec<u64>,
 }
 
 impl Default for Allocator {
@@ -144,7 +336,7 @@ impl Default for Allocator {
 impl Allocator {
     pub fn new() -> Self {
         Allocator {
-            shards: std::array::from_fn(|_| Shard::new()),
+            shards: (0..num_shards()).map(|_| Shard::new()).collect(),
             large_free: Mutex::new(BTreeMap::new()),
             live_blocks: AtomicU64::new(0),
             large_allocs: AtomicU64::new(0),
@@ -162,23 +354,21 @@ impl Allocator {
             // exactly one classifying counter.
             let me = shard_id();
             // 1. Own arena — the contention-free fast path.
-            if let Some(off) = self.shards[me].class_free[class].lock().pop() {
+            if let Some(off) = self.shards[me].pop(class) {
                 self.shards[me].hits.fetch_add(1, Ordering::Relaxed); // ordering: stat
                 mvkv_obs::counter_inc_hot!("mvkv_pmem_alloc_hits_total");
                 self.mark_allocated(pool, off);
                 return Ok(off);
             }
-            // 2. Steal from a sibling before burning fresh heap, so blocks
+            // 2. Steal from siblings before burning fresh heap, so blocks
             //    freed by other threads (or redistributed by a reopen scan)
-            //    are found before the bump cursor moves.
-            for delta in 1..NUM_SHARDS {
-                let sib = (me + delta) % NUM_SHARDS;
-                if let Some(off) = self.shards[sib].class_free[class].lock().pop() {
-                    self.shards[me].steals.fetch_add(1, Ordering::Relaxed); // ordering: stat
-                    mvkv_obs::counter_inc!("mvkv_pmem_alloc_steals_total");
-                    self.mark_allocated(pool, off);
-                    return Ok(off);
-                }
+            //    are found before the bump cursor moves. A couple of
+            //    randomized probes handle the common crowded case without a
+            //    ring scan; the deterministic sweep after them is the
+            //    correctness backstop (never bump while a sibling holds
+            //    blocks) and costs one relaxed load per empty sibling.
+            if let Some(off) = self.steal(pool, me, class) {
+                return Ok(off);
             }
             // 3. Batched refill from the global cursor.
             return self.refill_and_alloc(pool, me, class, len);
@@ -210,10 +400,54 @@ impl Allocator {
         self.bump_new_block(pool, payload, len)
     }
 
-    /// Carves up to [`REFILL_BATCH`] same-class blocks with one cursor CAS:
-    /// the first is returned allocated, the rest are parked in shard `me`
-    /// with durable free-state headers. All header persists plus the
-    /// cursor persist share a single fence.
+    /// The steal path: bounded randomized probes, then an emptiness-hint
+    /// guided sweep. A successful steal moves half the victim's list into
+    /// shard `me` and returns one block marked allocated.
+    fn steal(&self, pool: &PmemPool, me: usize, class: usize) -> Option<u64> {
+        let n = self.shards.len();
+        if n <= 1 {
+            return None;
+        }
+        let grab = |victim: usize| -> Option<u64> {
+            let (off, extras) = self.shards[victim].steal_half(class)?;
+            let moved = extras.len() as u64;
+            if !extras.is_empty() {
+                self.shards[me].push(class, extras);
+            }
+            self.shards[me].steals.fetch_add(1, Ordering::Relaxed); // ordering: stat
+            mvkv_obs::counter_inc!("mvkv_pmem_alloc_steals_total");
+            mvkv_obs::counter_add!("mvkv_pmem_alloc_steal_blocks_total", moved + 1);
+            self.mark_allocated(pool, off);
+            Some(off)
+        };
+        // Randomized probes (skipped under loom: schedules must not depend
+        // on a thread-local RNG).
+        #[cfg(not(loom))]
+        for _ in 0..STEAL_PROBES.min(n - 1) {
+            let victim = (me + 1 + probe_rand() as usize % (n - 1)) % n;
+            if let Some(off) = grab(victim) {
+                return Some(off);
+            }
+        }
+        // Guided sweep: one relaxed load per sibling, a lock only where the
+        // hint says blocks may exist.
+        for delta in 1..n {
+            let victim = (me + delta) % n;
+            if let Some(off) = grab(victim) {
+                return Some(off);
+            }
+        }
+        None
+    }
+
+    /// Carves a batch of same-class blocks with one cursor CAS: the first
+    /// is returned allocated, the rest are parked in shard `me` with
+    /// durable free-state headers. All header persists plus the cursor
+    /// persist share a single fence. The batch starts at [`REFILL_BATCH`]
+    /// and doubles (to at most [`MAX_REFILL_BATCH`]) while the shard
+    /// refills back-to-back with no free-list hit — sustained fresh-key
+    /// insert storms amortize the cursor CAS and the fence over more
+    /// blocks exactly when they need to.
     fn refill_and_alloc(
         &self,
         pool: &PmemPool,
@@ -222,12 +456,32 @@ impl Allocator {
         requested: usize,
     ) -> Result<u64> {
         let block = BLOCK_HEADER + SIZE_CLASSES[class] as u64;
+        let shard = &self.shards[me];
+        // Adaptive batch: a refill is "tight" when at most one batch worth
+        // of list serves separated it from the previous one — nothing but
+        // the previous batch's own extras fed the list, so demand is a
+        // sustained fresh-allocation storm and the batch should grow.
+        // Recycle-heavy phases (frees/steals padding the gap) reset to the
+        // base batch. All counters advisory/Relaxed: a mis-sized batch is a
+        // performance wobble, never a correctness issue.
+        // ordering: stat-derived adaptive input, see above.
+        let serves = shard.hits.load(Ordering::Relaxed) + shard.steals.load(Ordering::Relaxed);
+        let last_serves = shard.serves_at_last_refill.swap(serves, Ordering::Relaxed); // ordering: advisory adaptive input
+        let last_batch = shard.last_batch.load(Ordering::Relaxed); // ordering: advisory adaptive input
+        let streak = if serves.wrapping_sub(last_serves) <= last_batch {
+            shard.refill_streak.fetch_add(1, Ordering::Relaxed) + 1 // ordering: advisory adaptive input
+        } else {
+            shard.refill_streak.store(0, Ordering::Relaxed); // ordering: advisory adaptive input
+            0
+        };
+        let boost = (streak / REFILL_STREAK_WINDOW).min(3); // 8 → 16 → 32 → 64
+        let full_batch = (REFILL_BATCH << boost).min(MAX_REFILL_BATCH);
         let cursor = pool.atomic_u64(OFF_BUMP);
         loop {
             let current = cursor.load(Ordering::Acquire);
             let limit = pool.len() as u64;
-            // Largest batch (halving from REFILL_BATCH) that still fits.
-            let mut batch = REFILL_BATCH;
+            // Largest batch (halving from full_batch) that still fits.
+            let mut batch = full_batch;
             while batch > 1 && current.checked_add(batch * block).is_none_or(|e| e > limit) {
                 batch /= 2;
             }
@@ -257,12 +511,19 @@ impl Allocator {
                 extras.push(hdr + BLOCK_HEADER);
             }
             pool.persist(OFF_BUMP, 8);
+            // This fence is load-bearing and stays (unlike the state-flip
+            // fences, see module docs): the extras parked below are handed
+            // to *other* threads through the steal path, so their Free
+            // headers must be durable before any thief can link one into a
+            // durable structure — the thief's own fence does not order this
+            // thread's flushes.
             pool.fence();
             if !extras.is_empty() {
                 // LIFO order: the next same-thread alloc reuses the newest.
-                self.shards[me].class_free[class].lock().extend(extras);
+                shard.push(class, extras);
             }
-            self.shards[me].refills.fetch_add(1, Ordering::Relaxed); // ordering: stat
+            shard.last_batch.store(batch, Ordering::Relaxed); // ordering: adaptive input
+            shard.refills.fetch_add(1, Ordering::Relaxed); // ordering: stat
             mvkv_obs::counter_inc!("mvkv_pmem_alloc_refills_total");
             self.live_blocks.fetch_add(1, Ordering::Relaxed); // ordering: gauge, not a publication
             return Ok(current + BLOCK_HEADER);
@@ -298,18 +559,31 @@ impl Allocator {
         }
     }
 
+    /// Flips a free-list block's durable state to `Allocated`. Flushed but
+    /// deliberately **not** fenced (MOD audit, module docs + DESIGN.md §13):
+    /// the caller is the only thread that will reference the block, and its
+    /// later publish fence orders this flush before any durable reference.
+    /// A crash before that fence can leave the state `Free` — and then
+    /// nothing durable references the block, so re-freeing it on reopen is
+    /// sound.
     fn mark_allocated(&self, pool: &PmemPool, payload_off: u64) {
         let header = payload_off - BLOCK_HEADER;
         let size = pool.read_u64(header);
         pool.write_u64(header + 8, encode_state(size, BlockState::Allocated));
         pool.persist(header + 8, 8);
-        pool.fence();
         self.live_blocks.fetch_add(1, Ordering::Relaxed); // ordering: gauge, not a publication
     }
 
     /// Frees the block whose payload starts at `off`. Class blocks return
     /// to the freeing thread's own shard (good locality for free-then-alloc
     /// patterns); siblings can still reach them through the steal path.
+    ///
+    /// The `Free` state flip is flushed but not fenced (MOD audit): the
+    /// caller has already unlinked every durable reference, so the worst a
+    /// crash can preserve is a stale `Allocated` word — a leak-at-most
+    /// outcome the reopen scan already tolerates. The next thread to reuse
+    /// the block orders both flips behind its own publish fence (cache
+    /// coherence puts the line's final value at `Allocated` again).
     pub fn dealloc(&self, pool: &PmemPool, off: u64) {
         let header = off - BLOCK_HEADER;
         let size = pool.read_u64(header);
@@ -321,11 +595,10 @@ impl Allocator {
         );
         pool.write_u64(header + 8, encode_state(size, BlockState::Free));
         pool.persist(header + 8, 8);
-        pool.fence();
 
         let payload = size - BLOCK_HEADER;
         match SIZE_CLASSES.iter().position(|&c| c as u64 == payload) {
-            Some(class) => self.shards[shard_id()].class_free[class].lock().push(off),
+            Some(class) => self.shards[shard_id()].push(class, [off]),
             None => self.large_free.lock().entry(size).or_default().push(off),
         }
         self.live_blocks.fetch_sub(1, Ordering::Relaxed); // ordering: gauge, not a publication
@@ -356,8 +629,8 @@ impl Allocator {
             if decode_state(size, state) == Some(BlockState::Free) {
                 match SIZE_CLASSES.iter().position(|&c| c as u64 == payload) {
                     Some(class) => {
-                        self.shards[next_shard].class_free[class].lock().push(payload_off);
-                        next_shard = (next_shard + 1) % NUM_SHARDS;
+                        self.shards[next_shard].push(class, [payload_off]);
+                        next_shard = (next_shard + 1) % self.shards.len();
                     }
                     None => self.large_free.lock().entry(size).or_default().push(payload_off),
                 }
@@ -381,12 +654,15 @@ impl Allocator {
 
     pub fn stats(&self, pool: &PmemPool) -> AllocStats {
         let bump = pool.read_u64(OFF_BUMP);
-        let shard_hits: [u64; NUM_SHARDS] =
-            std::array::from_fn(|i| self.shards[i].hits.load(Ordering::Relaxed)); // ordering: stat read
-        let shard_refills: [u64; NUM_SHARDS] =
-            std::array::from_fn(|i| self.shards[i].refills.load(Ordering::Relaxed)); // ordering: stat read
-        let shard_steals: [u64; NUM_SHARDS] =
-            std::array::from_fn(|i| self.shards[i].steals.load(Ordering::Relaxed)); // ordering: stat read
+        let n = self.shards.len();
+        let load = |f: fn(&Shard) -> &AtomicU64| -> Vec<u64> {
+            // ordering: stat reads; each element is one atomic load and the
+            // totals below are derived from exactly these loads.
+            (0..n).map(|i| f(&self.shards[i]).load(Ordering::Relaxed)).collect()
+        };
+        let shard_hits = load(|s| &s.hits);
+        let shard_refills = load(|s| &s.refills);
+        let shard_steals = load(|s| &s.steals);
         let large_allocs = self.large_allocs.load(Ordering::Relaxed); // ordering: stat read
         AllocStats {
             heap_used: bump - HEAP_START,
@@ -490,6 +766,42 @@ mod tests {
     }
 
     #[test]
+    fn refill_batch_grows_under_sustained_refills() {
+        // A sustained fresh-allocation storm (no frees, so each refill is
+        // "tight": only its own batch extras fed the list) must engage the
+        // adaptive batch growth, amortizing the cursor CAS and the refill
+        // fence over more blocks.
+        let p = PmemPool::create_volatile(1 << 24).unwrap();
+        let mut held = Vec::new();
+        for _ in 0..2_000 {
+            held.push(p.alloc(64).unwrap());
+        }
+        let grown = p.alloc_stats();
+        let served = grown.total_allocs;
+        let refills = grown.shard_refills.iter().sum::<u64>();
+        // With a fixed batch of 8, `served / refills` can never exceed 8.
+        assert!(
+            served > refills * REFILL_BATCH,
+            "adaptive batch never engaged: {served} allocs over {refills} refills"
+        );
+        // Recycle-heavy phase: frees pad the gap between refills, so the
+        // streak resets and the batch returns to base. Observable as the
+        // refill rate climbing back toward 1-per-REFILL_BATCH once the
+        // recycled blocks run out.
+        for off in held.drain(..) {
+            p.dealloc(off);
+        }
+        for _ in 0..2_000 {
+            held.push(p.alloc(64).unwrap());
+        }
+        let s = p.alloc_stats();
+        assert!(
+            s.shard_hits.iter().sum::<u64>() >= 2_000,
+            "recycled blocks must be served from the free lists: {s:?}"
+        );
+    }
+
+    #[test]
     fn stats_track_live_blocks() {
         let p = pool();
         let s0 = p.alloc_stats();
@@ -508,6 +820,7 @@ mod tests {
         let a = p.alloc(64).unwrap();
         let s = p.alloc_stats();
         assert_eq!(s.shard_refills.iter().sum::<u64>(), 1, "first alloc is a refill");
+        assert_eq!(s.shard_hits.len(), num_shards(), "one slot per runtime shard");
         p.dealloc(a);
         let _ = p.alloc(64).unwrap();
         let s = p.alloc_stats();
@@ -575,6 +888,97 @@ mod tests {
         }
     }
 
+    /// `extract_edge`-style sweep around the historical shard-count cliff:
+    /// thread counts straddling the old fixed arena count (8) — and the
+    /// current dynamic count — must all produce disjoint live blocks and
+    /// balanced stats, including when threads outnumber shards and the id
+    /// recycler reuses slots mid-test.
+    #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
+    fn edge_thread_counts_stay_disjoint_and_balanced() {
+        for threads in [1usize, 7, 8, 9, 17] {
+            let p = std::sync::Arc::new(PmemPool::create_volatile(1 << 24).unwrap());
+            let mut handles = Vec::new();
+            for t in 0..threads as u64 {
+                let p = p.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..300u64 {
+                        let len = 16 << ((t + i) % 4);
+                        let off = p.alloc(len as usize).unwrap();
+                        p.write_u64(off, (t << 32) | i);
+                        held.push((off, (t << 32) | i));
+                        if i % 4 == 3 {
+                            let (victim, _) = held.swap_remove((i as usize) % held.len());
+                            p.dealloc(victim);
+                        }
+                    }
+                    held
+                }));
+            }
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for h in handles {
+                live.extend(h.join().unwrap());
+            }
+            for &(off, stamp) in &live {
+                assert_eq!(p.read_u64(off), stamp, "block handed to two threads ({threads}t)");
+            }
+            live.sort_unstable();
+            live.dedup();
+            let stats = p.alloc_stats();
+            assert_eq!(
+                stats.live_blocks as usize,
+                live.len(),
+                "stats disagree with live set at {threads} threads"
+            );
+            let served = stats.shard_hits.iter().sum::<u64>()
+                + stats.shard_steals.iter().sum::<u64>()
+                + stats.shard_refills.iter().sum::<u64>();
+            assert_eq!(served, stats.total_allocs, "unbalanced stats at {threads} threads");
+        }
+    }
+
+    /// Satellite regression: shard ids must be recycled through the
+    /// free-list, so a process churning short-lived threads keeps its id
+    /// range (and thus its shard skew) bounded by the *concurrent* thread
+    /// count, not the lifetime spawn count.
+    #[test]
+    #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
+    fn shard_ids_recycle_across_100_thread_lifetimes() {
+        let p = std::sync::Arc::new(pool());
+        let mut ids = std::collections::BTreeSet::new();
+        for i in 0..100u64 {
+            let p = p.clone();
+            let id = std::thread::spawn(move || {
+                // Touch the allocator so the slot is actually claimed.
+                let off = p.alloc(64).unwrap();
+                p.dealloc(off);
+                super::shard_slot::id()
+            })
+            .join()
+            .unwrap();
+            ids.insert(id);
+            // Sequential spawn/join: at most a handful of ids may ever be
+            // live at once (this thread + the worker + runtime helpers).
+            assert!(
+                ids.len() <= 4,
+                "iteration {i}: ids not recycled, saw {ids:?} — skew unbounded"
+            );
+        }
+        // And the skew itself: 100 workers over ≤4 distinct ids means no
+        // shard absorbed more than 4 ids' worth of traffic.
+        let max_shard_ids = ids
+            .iter()
+            .fold(std::collections::BTreeMap::<usize, usize>::new(), |mut m, &id| {
+                *m.entry(id % num_shards()).or_default() += 1;
+                m
+            })
+            .into_values()
+            .max()
+            .unwrap_or(0);
+        assert!(max_shard_ids <= 4, "shard skew unbounded: {max_shard_ids}");
+    }
+
     #[test]
     #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn alloc_free_churn_across_threads_stays_disjoint() {
@@ -630,8 +1034,8 @@ mod tests {
     #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn exhausted_shard_steals_from_siblings() {
         // One thread frees into its shard, another (pinned to a different
-        // shard by the round-robin id) must find those blocks via the steal
-        // path rather than bumping fresh heap.
+        // shard by the slot assignment) must find those blocks via the
+        // steal path rather than bumping fresh heap.
         let p = std::sync::Arc::new(pool());
         let freed: Vec<u64> = {
             let p = p.clone();
@@ -665,20 +1069,19 @@ mod tests {
         );
     }
 
-    /// Regression test for the read-during-update stats race: the old code
-    /// kept an independent `total_allocs` counter bumped *after* the
-    /// per-path hit/steal/refill counters, so a concurrent `stats()` could
-    /// transiently report more served allocations than total allocations.
-    /// `total_allocs` is now derived from the per-path loads of the same
-    /// snapshot, so the identity must hold at every instant — and totals
-    /// must never move backwards between snapshots.
+    /// Regression test for the read-during-update stats race (and, since
+    /// the shard count went dynamic, for tearing between the per-shard
+    /// vectors and the derived total): 16 allocating threads churn while
+    /// this thread snapshots continuously; every snapshot must satisfy the
+    /// served == total identity, totals must be monotone, and the vector
+    /// lengths must match the runtime shard count.
     #[test]
     #[cfg_attr(miri, ignore = "slow under Miri; covered natively in CI")]
     fn stats_snapshot_is_consistent_during_concurrent_churn() {
-        let p = std::sync::Arc::new(PmemPool::create_volatile(1 << 24).unwrap());
+        let p = std::sync::Arc::new(PmemPool::create_volatile(1 << 26).unwrap());
         let stop = std::sync::Arc::new(AtomicU64::new(0));
         std::thread::scope(|scope| {
-            for t in 0..4u64 {
+            for t in 0..16u64 {
                 let p = p.clone();
                 let stop = stop.clone();
                 scope.spawn(move || {
@@ -703,6 +1106,9 @@ mod tests {
             let mut last_total = 0u64;
             for _ in 0..2_000 {
                 let s = p.alloc_stats();
+                assert_eq!(s.shard_hits.len(), num_shards());
+                assert_eq!(s.shard_refills.len(), num_shards());
+                assert_eq!(s.shard_steals.len(), num_shards());
                 let served = s.shard_hits.iter().sum::<u64>()
                     + s.shard_steals.iter().sum::<u64>()
                     + s.shard_refills.iter().sum::<u64>()

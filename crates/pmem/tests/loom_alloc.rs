@@ -56,3 +56,33 @@ fn dealloc_recycling_races_are_exclusive() {
         assert_ne!(mine, theirs, "recycled block handed to both threads");
     });
 }
+
+/// More threads than shards (`num_shards()` is pinned to 2 under loom, and
+/// two spawned threads plus the main thread map to shards 1, 0, 0): two
+/// threads *share* shard 0, so the same-shard fast path races itself while
+/// shard 1 refills and steals. Every interleaving must still hand out
+/// disjoint blocks.
+#[test]
+fn more_threads_than_shards_stay_disjoint() {
+    model(|| {
+        let pool = Arc::new(PmemPool::create_volatile(1 << 16).unwrap());
+        // Warm one freed block so shared-shard pops race over a non-empty
+        // list, not just over the refill CAS.
+        let warm = pool.alloc(64).unwrap();
+        pool.dealloc(warm);
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let p = pool.clone();
+                thread::spawn(move || p.alloc(64).unwrap())
+            })
+            .collect();
+        let mine = pool.alloc(64).unwrap();
+        let mut offs = vec![mine];
+        for h in handles {
+            offs.push(h.join().unwrap());
+        }
+        offs.sort_unstable();
+        offs.dedup();
+        assert_eq!(offs.len(), 3, "allocator handed out the same block twice: {offs:?}");
+    });
+}

@@ -20,6 +20,45 @@ impl<K> Node<K> {
     }
 }
 
+/// Failed upper-level link attempts per level before the tower top is
+/// abandoned. Level 0 is ground truth (iteration, membership, duplicates);
+/// upper levels are only a search accelerator, so under heavy contention it
+/// is cheaper to leave a tower short than to keep re-finding — the expected
+/// extra walk cost is O(1) amortized over the geometric height
+/// distribution.
+const UPPER_LINK_RETRIES: usize = 4;
+
+/// Randomized exponential backoff after a lost CAS: spin a jittered,
+/// attempt-scaled number of iterations so colliding writers desynchronize
+/// instead of re-colliding in lockstep on the same predecessor cell.
+#[cfg(not(loom))]
+#[inline]
+fn backoff(attempt: usize) {
+    use std::cell::Cell;
+    thread_local! {
+        static JITTER: Cell<u64> = const { Cell::new(0x9E37_79B9_97F4_A7C1) };
+    }
+    let r = JITTER.with(|s| {
+        let mut x = s.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x
+    });
+    let ceil = 1u64 << attempt.min(7); // 2 .. 128 spins
+    for _ in 0..(1 + r % ceil) {
+        std::hint::spin_loop();
+    }
+}
+
+/// Under the model checker backoff is a no-op: loom explores all
+/// interleavings regardless, and extra spin states blow the schedule
+/// budget.
+#[cfg(loom)]
+#[inline]
+fn backoff(_attempt: usize) {}
+
 /// Result of [`SkipList::insert_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
@@ -92,8 +131,45 @@ impl<K: Ord> SkipList<K> {
         self.len() == 0
     }
 
-    /// Geometric tower height (p = 1/2), deterministic given insert order.
-    /// (The seed is Relaxed: only atomicity matters, not ordering.)
+    /// Geometric tower height (p = 1/2).
+    ///
+    /// The RNG state is **contention-sharded**: each thread advances a
+    /// private xorshift stream, and the shared `height_seed` counter is
+    /// touched exactly once per thread — to draw a distinct stream seed —
+    /// instead of once per insert. With the old single atomic counter,
+    /// every insert on every thread bounced the same cache line before the
+    /// real work even started.
+    #[cfg(not(loom))]
+    fn random_height(&self) -> usize {
+        use std::cell::Cell;
+        thread_local! {
+            static STATE: Cell<u64> = const { Cell::new(0) };
+        }
+        let x = STATE.with(|s| {
+            let mut x = s.get();
+            if x == 0 {
+                // ordering: the seed counter only needs atomicity; heights
+                // are thread-local from here on.
+                x = self.height_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+                    | 0x5EED_0000_0000_0001;
+            }
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.set(x);
+            x
+        });
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    /// Under the model checker heights must be a deterministic function of
+    /// the shared seed (not of OS-thread-local state loom cannot replay),
+    /// so the original single-counter path is kept.
+    #[cfg(loom)]
     fn random_height(&self) -> usize {
         // ordering: the seed only needs atomicity; heights are local.
         let x = self.height_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
@@ -195,6 +271,7 @@ impl<K: Ord> SkipList<K> {
         }
 
         // Level-0 CAS is the linearization point; retry on any interference.
+        let mut attempt = 0usize;
         loop {
             for (level, succ) in succs.iter().enumerate().take(height) {
                 // SAFETY: node is still private to this thread.
@@ -205,7 +282,12 @@ impl<K: Ord> SkipList<K> {
             match cell0.compare_exchange(succs[0], node, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => break,
                 Err(_) => {
-                    // Something changed next to us: re-scan.
+                    // Something changed next to us: back off, then re-scan.
+                    // The backoff matters precisely here — dense fresh-key
+                    // storms make neighbors share a predecessor cell, and
+                    // lockstep retries re-collide.
+                    attempt += 1;
+                    backoff(attempt);
                     // SAFETY: node is still exclusively ours (CAS failed).
                     let winner = self.find(unsafe { &(*node).key }, &mut preds, &mut succs);
                     if !winner.is_null() {
@@ -221,8 +303,16 @@ impl<K: Ord> SkipList<K> {
             }
         }
 
-        // Link the upper levels; each may need its own re-scan loop.
-        for level in 1..height {
+        // Link the upper levels bottom-up; each may need its own re-scan
+        // loop, but only a **bounded** one: after UPPER_LINK_RETRIES lost
+        // races at a level the rest of the tower is abandoned. The node is
+        // already fully linked at every level below, finds tolerate the
+        // missing upper links (they only make searches walk slightly
+        // farther at that level), and under contention the re-find is the
+        // expensive part — unbounded retries were a measured contributor to
+        // the multi-writer cliff.
+        'tower: for level in 1..height {
+            let mut tries = 0usize;
             loop {
                 let succ = succs[level];
                 if succ == node {
@@ -239,6 +329,11 @@ impl<K: Ord> SkipList<K> {
                 {
                     break;
                 }
+                tries += 1;
+                if tries >= UPPER_LINK_RETRIES {
+                    break 'tower; // leave the tower short; level 0 is truth
+                }
+                backoff(tries);
                 // SAFETY: node is published and its key is immutable.
                 let _ = self.find(unsafe { &(*node).key }, &mut preds, &mut succs);
             }

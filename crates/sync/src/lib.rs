@@ -83,10 +83,18 @@ pub mod sync {
 /// Thread primitives: `spawn`, `yield_now`, `JoinHandle`.
 pub mod thread {
     #[cfg(not(loom))]
-    pub use std::thread::{spawn, yield_now, JoinHandle};
+    pub use std::thread::{available_parallelism, spawn, yield_now, JoinHandle};
 
     #[cfg(loom)]
     pub use crate::loom_thread::{spawn, yield_now, JoinHandle};
+
+    /// Under the model checker the machine's core count must not leak into
+    /// schedules: models are replayed on arbitrary hosts, so anything
+    /// sizing itself from parallelism sees a fixed small value.
+    #[cfg(loom)]
+    pub fn available_parallelism() -> std::io::Result<std::num::NonZeroUsize> {
+        Ok(std::num::NonZeroUsize::new(2).expect("non-zero"))
+    }
 }
 
 /// Spin-loop hint; a scheduling point under `--cfg loom` so that spin-wait

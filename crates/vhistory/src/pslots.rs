@@ -53,7 +53,13 @@ impl<'p> PHistory<'p> {
             pool.write_u64(hdr + field * 8, 0);
         }
         pool.persist(hdr, HISTORY_HDR_SIZE);
-        pool.fence();
+        // Deliberately NO fence (MOD minimal-ordering audit, DESIGN.md
+        // §13): a fresh history is unreachable until the creating thread
+        // publishes it (key-chain append + version stamp), and that
+        // publish's fence — same thread — orders this zeroing flush first.
+        // A crash before the publish leaves the header unreferenced; the
+        // allocator's leak-at-most scan reclaims nothing but also
+        // resurrects nothing, so stale field bytes can never be observed.
         Ok(PHistory { pool, hdr })
     }
 

@@ -849,4 +849,56 @@ mod tests {
         }";
         assert_eq!(violations(bad), 1);
     }
+
+    /// The MOD fence-audit shapes (DESIGN.md §13): the pass demands that
+    /// dirty writes are *flushed* on every exit path — it deliberately does
+    /// NOT demand a trailing `fence()`, because ordering a flush against
+    /// durable publication is the caller's publish-fence's job. These
+    /// fixtures pin the exact shapes `mark_allocated` / `dealloc` /
+    /// `KeyChain::append` / `PHistory::create` took after the audit, so a
+    /// future "tighten the pass to require fences" change has to consciously
+    /// re-argue them.
+    #[test]
+    fn flush_without_trailing_fence_is_a_legal_shape() {
+        // mark_allocated / dealloc: state flip, flush, return — no fence.
+        let state_flip = "fn mark(p: &Pool, off: u64) {
+            p.write_u64(off + 8, 1);
+            p.persist(off + 8, 8);
+        }";
+        assert_eq!(violations(state_flip), 0, "unfenced state flip must stay legal");
+        // Coalesced append: pair write + flush, counter bump + flush, no
+        // per-pair fence — the publish fence lives in the *caller*.
+        let coalesced = "fn append(p: &Pool, pair: u64) {
+            p.write_u64(pair, 7);
+            p.persist(pair, 16);
+            p.write_u64(pair + 99, 1);
+            p.persist(pair + 99, 8);
+        }";
+        assert_eq!(violations(coalesced), 0, "coalesced append schedule must stay legal");
+        // But removing the *flush* along with the fence is still caught.
+        let over_removed = "fn append(p: &Pool, pair: u64) {
+            p.write_u64(pair, 7);
+        }";
+        assert_eq!(violations(over_removed), 1, "flush removal must still be flagged");
+    }
+
+    /// The batched-refill shape: a loop carving several headers, each
+    /// flushed, one fence after the loop. The fence is load-bearing there
+    /// (cross-thread handoff of parked extras) but the pass only needs the
+    /// flush coverage to hold through the loop body and the tail.
+    #[test]
+    fn batched_refill_single_fence_shape() {
+        let refill = "fn refill(p: &Pool, base: u64, n: u64) {
+            let mut i = 0;
+            while i < n {
+                p.write_u64(base + i * 16, 16);
+                p.persist(base + i * 16, 16);
+                i += 1;
+            }
+            p.write_u64(8, base + n * 16);
+            p.persist(8, 8);
+            p.fence();
+        }";
+        assert_eq!(violations(refill), 0);
+    }
 }

@@ -10,6 +10,14 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter};
 }
 
+/// Number of workers the real rayon's global pool would have: one per
+/// available core. The shim spawns scoped threads instead of pooling, so
+/// this is advisory — callers use it to avoid requesting more parallelism
+/// than the host can actually deliver.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Conversion into a "parallel" iterator (blanket impl over `IntoIterator`).
 pub trait IntoParallelIterator: IntoIterator + Sized {
     fn into_par_iter(self) -> ParIter<Self::IntoIter> {
