@@ -198,6 +198,7 @@ impl<'p> KeyChain<'p> {
         // the block instead of trusting its pairs.
         self.pool.write_u64(off + 24, crc32c_u64s(&[index]) as u64);
         self.pool.persist(off, bytes as usize);
+        // fence: amortized(new tag block: once per block_cap appends)
         self.pool.fence();
         match self.pool.atomic_u64(link_off).compare_exchange(
             0,
@@ -207,6 +208,7 @@ impl<'p> KeyChain<'p> {
         ) {
             Ok(_) => {
                 self.pool.persist(link_off, 8);
+                // fence: amortized(block link publish: once per new block)
                 self.pool.fence();
                 Ok(off)
             }

@@ -517,6 +517,7 @@ impl Allocator {
             // headers must be durable before any thief can link one into a
             // durable structure — the thief's own fence does not order this
             // thread's flushes.
+            // fence: amortized(shard refill: once per `batch` allocations)
             pool.fence();
             if !extras.is_empty() {
                 // LIFO order: the next same-thread alloc reuses the newest.

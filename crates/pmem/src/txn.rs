@@ -48,15 +48,19 @@ fn ensure_log(pool: &PmemPool) -> Result<u64> {
     let log = pool.alloc(TXN_LOG_CAPACITY)?;
     pool.write_u64(log, 0); // record count
     pool.persist(log, 8);
+    // fence: amortized(log area init: once per pool lifetime)
     pool.fence();
     pool.write_u64(OFF_TXN_LOG, log);
     pool.persist(OFF_TXN_LOG, 8);
+    // fence: amortized(log area publish: once per pool lifetime)
     pool.fence();
     Ok(log)
 }
 
 /// Begins a transaction on `pool` (blocks while another is active).
 pub fn begin(pool: &PmemPool) -> Result<Txn<'_>> {
+    // lock-order: ensure_log's two fences run at most once per pool (first
+    // transaction ever); every later begin() sees the log already allocated.
     let guard = pool.txn_lock().lock();
     let log = ensure_log(pool)?;
     debug_assert_eq!(pool.read_u64(log), 0, "previous transaction left a dirty log");

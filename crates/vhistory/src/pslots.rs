@@ -142,11 +142,13 @@ impl<'p> PHistory<'p> {
         self.pool.write_u64(off + 16, seg_base(k));
         self.pool.write_u64(off + 24, mvkv_pmem::crc32c_u64s(&[cap, seg_base(k)]) as u64);
         self.pool.persist(off, bytes as usize);
+        // fence: amortized(new slot segment: once per segment capacity)
         self.pool.fence();
         let link = self.pool.atomic_u64(link_off);
         match link.compare_exchange(0, off, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => {
                 self.pool.persist(link_off, 8);
+                // fence: amortized(segment link publish: once per new segment)
                 self.pool.fence();
                 Ok(off)
             }

@@ -1,25 +1,34 @@
 //! The multi-pass analyzer driver: `cargo run -p xtask -- analyze`.
 //!
-//! Five passes share one parsed-file cache (each source file is read,
-//! stripped and token-tree-parsed at most once, no matter how many passes
-//! look at it — satellite (f) of PR 5):
+//! Seven passes share one parsed-file cache and one interprocedural
+//! workspace (each source file is read, stripped and token-tree-parsed at
+//! most once, no matter how many passes look at it):
 //!
 //! 1. `facade`          — no direct `std::sync::atomic` / `std::thread` in
-//!    concurrency-critical crates ([`crate::lint::check_facade`]).
+//!    concurrency-critical crates ([`crate::text::check_facade`]).
 //! 2. `safety-comment`  — `unsafe` blocks/impls need `// SAFETY:`
-//!    ([`crate::lint::check_safety_comments`]).
+//!    ([`crate::text::check_safety_comments`]).
 //! 3. `persist-ordering`— branch-aware dataflow: every dirty PM write must
-//!    be flushed on every path to every function exit ([`crate::cfg`]).
+//!    be flushed on every path to every function exit — now run through the
+//!    interprocedural call oracle, so a helper that persists the caller's
+//!    write is recognized ([`crate::cfg`], [`crate::summary`]).
 //! 4. `pm-layout`       — PM-resident types are repr(C)/repr(transparent),
 //!    contain no ephemeral field types, and match the checked-in
 //!    fingerprints in `pm_layout.lock` ([`crate::layout`]).
 //! 5. `atomic-ordering` — every `Ordering::Relaxed` in audited crates
 //!    carries an `// ordering:` justification ([`crate::ordering`]).
+//! 6. `fence-budget`    — worst-case sfence counts per durable entry point,
+//!    checked against `fence_budget.lock` ([`crate::fences`]).
+//! 7. `lock-order`      — acquisition-graph cycles and locks held across
+//!    fences ([`crate::locks`]).
 //!
 //! Findings can be suppressed via `crates/xtask/suppressions.txt`; every
-//! suppression carries a reason and an expiry date, and expired or unused
-//! suppressions are themselves findings, so the file can only shrink unless
-//! a human re-argues each entry.
+//! suppression carries a reason and an expiry date, and expired, unused or
+//! unknown-pass suppressions are themselves findings, so the file can only
+//! shrink unless a human re-argues each entry.
+//!
+//! `--baseline <json>` subtracts a committed report (CI fails only on *new*
+//! findings); `--bless` rewrites the lock files and the baseline.
 
 use std::cell::OnceCell;
 use std::fmt::Write as _;
@@ -27,8 +36,9 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use crate::lexer::{self, Tree};
-use crate::lint::{self, in_spans};
-use crate::{cfg, layout, ordering};
+use crate::summary::{Workspace, WsFile};
+use crate::text;
+use crate::{cfg, fences, layout, locks, ordering};
 
 /// Crates whose `src/` must go through the `mvkv-sync` facade (loom-swapped
 /// atomics). Mirrors the original lint's FACADE_CRATES.
@@ -49,6 +59,113 @@ pub const LOCK_PATH: &str = "crates/xtask/pm_layout.lock";
 /// Suppression file, repo-relative.
 pub const SUPPRESSIONS_PATH: &str = "crates/xtask/suppressions.txt";
 
+/// Committed zero-drift report for CI's new-findings diff, repo-relative.
+pub const BASELINE_PATH: &str = "crates/xtask/analysis_baseline.json";
+
+// ---------------------------------------------------------------------------
+// Check registry (drives `--only`, suppression validation and `explain`)
+// ---------------------------------------------------------------------------
+
+struct CheckDoc {
+    id: &'static str,
+    rule: &'static str,
+    rationale: &'static str,
+    escape: &'static str,
+}
+
+const CHECKS: &[CheckDoc] = &[
+    CheckDoc {
+        id: "facade",
+        rule: "concurrency-critical crates must not use std::sync::atomic / std::thread \
+               directly; import through the mvkv_sync facade.",
+        rationale: "loom interleaving tests swap the facade's types for models; code that \
+                    bypasses the facade silently escapes every concurrency test.",
+        escape: "suppressions.txt entry `facade <file>:<line> until=YYYY-MM-DD <reason>`; \
+                 #[cfg(test)] items are exempt automatically.",
+    },
+    CheckDoc {
+        id: "safety-comment",
+        rule: "every `unsafe {` block and `unsafe impl` needs a `// SAFETY:` comment on or \
+               immediately above it.",
+        rationale: "the comment forces the author to state the invariant the compiler can't \
+                    check, and gives reviewers something to falsify.",
+        escape: "write the SAFETY comment (preferred), or a suppressions.txt entry.",
+    },
+    CheckDoc {
+        id: "persist-ordering",
+        rule: "a dirty PM write must be flushed (clwb/persist + fence discipline) on every \
+               control-flow path to every function exit, counting flushes performed by \
+               resolved callees.",
+        rationale: "a path that returns with unflushed PM data is a crash-consistency bug: \
+                    the write may or may not survive, and recovery sees a torn store.",
+        escape: "flush on the missing path; if the dirtiness is handed to a caller by \
+                 contract, suppress with a reason naming the flushing caller.",
+    },
+    CheckDoc {
+        id: "pm-layout",
+        rule: "PM-resident types must be repr(C)/repr(transparent), free of ephemeral field \
+               types, and match the fingerprints in pm_layout.lock.",
+        rationale: "layout drift silently corrupts every existing pool file; the lock file \
+                    turns an ABI change into a reviewed diff.",
+        escape: "`cargo run -p xtask -- analyze --bless` after a deliberate, versioned \
+                 layout change.",
+    },
+    CheckDoc {
+        id: "atomic-ordering",
+        rule: "every `Ordering::Relaxed` in audited crates carries an `// ordering:` \
+               justification nearby.",
+        rationale: "Relaxed is correct surprisingly rarely; the comment records the argument \
+                    (monotonic counter, published-by-fence, etc.) for the next reader.",
+        escape: "add the `// ordering:` comment; use Acquire/Release when in doubt.",
+    },
+    CheckDoc {
+        id: "fence-budget",
+        rule: "the worst-case sfence count of each durable entry point must match \
+               fence_budget.lock (insert_batch: zero flat fences, one per chunk).",
+        rationale: "PR 7 cut 583 fences to 251 by making fence minimality structural; this \
+                    pass turns that invariant into a build-time check instead of hoping the \
+                    crash matrix notices a regression.",
+        escape: "`cargo run -p xtask -- analyze --bless` after updating DESIGN.md §13's \
+                 audit tables; `// fence: amortized(reason)` reclassifies a one-time fence.",
+    },
+    CheckDoc {
+        id: "lock-order",
+        rule: "the lock-acquisition graph must be acyclic, and no mvkv_sync guard may be \
+               held across an sfence.",
+        rationale: "cycles are deadlocks waiting for the right interleaving; a fence under a \
+                    shard or chain lock serializes unrelated writers on the slowest PM \
+                    operation.",
+        escape: "`// lock-order: <reason>` on the acquisition line or immediately above it \
+                 (mirrors the `// ordering:` convention).",
+    },
+    CheckDoc {
+        id: "suppressions",
+        rule: "suppressions.txt entries must parse, name a known pass, match a live finding \
+               and carry an unexpired `until=` date.",
+        rationale: "an escape hatch that can silently rot is worse than none; stale entries \
+                    surface as findings so the file only shrinks without review.",
+        escape: "none — fix or delete the entry.",
+    },
+];
+
+/// Pass/check ids valid in suppressions and `--only`.
+fn known_check(id: &str) -> bool {
+    CHECKS.iter().any(|c| c.id == id)
+}
+
+/// `cargo run -p xtask -- explain <check-id>` payload.
+pub fn explain(id: &str) -> Option<String> {
+    let c = CHECKS.iter().find(|c| c.id == id)?;
+    Some(format!(
+        "{}\n\nrule:\n  {}\n\nwhy:\n  {}\n\nescape hatch:\n  {}\n",
+        c.id, c.rule, c.rationale, c.escape
+    ))
+}
+
+pub fn check_ids() -> Vec<&'static str> {
+    CHECKS.iter().map(|c| c.id).collect()
+}
+
 // ---------------------------------------------------------------------------
 // Shared file cache
 // ---------------------------------------------------------------------------
@@ -60,7 +177,6 @@ pub struct SourceFile {
     /// Repo-relative path with `/` separators (stable across OSes, used in
     /// findings, the lock file and suppressions).
     pub rel: String,
-    pub path: PathBuf,
     pub src: String,
     stripped: OnceCell<String>,
     spans: OnceCell<Vec<(usize, usize)>>,
@@ -69,11 +185,11 @@ pub struct SourceFile {
 
 impl SourceFile {
     pub fn stripped(&self) -> &str {
-        self.stripped.get_or_init(|| lint::strip(&self.src))
+        self.stripped.get_or_init(|| text::strip(&self.src))
     }
 
     pub fn test_spans(&self) -> &[(usize, usize)] {
-        self.spans.get_or_init(|| lint::test_spans(self.stripped()))
+        self.spans.get_or_init(|| text::test_spans(self.stripped()))
     }
 
     pub fn trees(&self) -> &[Tree] {
@@ -88,7 +204,7 @@ impl SourceFile {
 pub fn load_files(root: &Path) -> Vec<SourceFile> {
     let mut out = Vec::new();
     for dir in ["crates", "src"] {
-        for path in lint::rust_files(&root.join(dir)) {
+        for path in text::rust_files(&root.join(dir)) {
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
@@ -102,7 +218,6 @@ pub fn load_files(root: &Path) -> Vec<SourceFile> {
             let Ok(src) = std::fs::read_to_string(&path) else { continue };
             out.push(SourceFile {
                 rel,
-                path,
                 src,
                 stripped: OnceCell::new(),
                 spans: OnceCell::new(),
@@ -148,9 +263,23 @@ pub struct Report {
     pub findings: Vec<Finding>,
     pub passes: Vec<PassStat>,
     pub suppressed: usize,
+    /// Findings present in the `--baseline` report and therefore dropped.
+    pub baselined: usize,
     /// Number of files loaded (for the human summary line).
     pub files: usize,
-    pub blessed: bool,
+    /// Paths written by `--bless` (repo-relative).
+    pub blessed: Vec<&'static str>,
+}
+
+/// What to run and against what. `Default` is a plain full run.
+#[derive(Default)]
+pub struct Options {
+    /// Rewrite `pm_layout.lock`, `fence_budget.lock` and the baseline.
+    pub bless: bool,
+    /// Run a single pass (a check id) instead of all of them.
+    pub only: Option<String>,
+    /// Subtract the findings recorded in this JSON report.
+    pub baseline: Option<PathBuf>,
 }
 
 // ---------------------------------------------------------------------------
@@ -216,7 +345,7 @@ fn load_suppressions(root: &Path, findings: &mut Vec<Finding>) -> Vec<Suppressio
             file: SUPPRESSIONS_PATH.to_string(),
             line: line_no,
             symbol: String::new(),
-                    msg: format!(
+            msg: format!(
                 "{msg}; expected `<check> <file>:<line> until=YYYY-MM-DD <reason>`: `{line}`"
             ),
         };
@@ -226,6 +355,12 @@ fn load_suppressions(root: &Path, findings: &mut Vec<Finding>) -> Vec<Suppressio
             findings.push(malformed("too few fields"));
             continue;
         };
+        if !known_check(check) {
+            findings.push(malformed(&format!(
+                "unknown pass `{check}` (run `cargo run -p xtask -- explain` for the list)"
+            )));
+            continue;
+        }
         let Some((file, num)) = loc.rsplit_once(':') else {
             findings.push(malformed("missing `:line` in location"));
             continue;
@@ -255,13 +390,65 @@ fn load_suppressions(root: &Path, findings: &mut Vec<Finding>) -> Vec<Suppressio
 }
 
 // ---------------------------------------------------------------------------
+// Baseline (CI diffs against the committed report, failing only on NEW)
+// ---------------------------------------------------------------------------
+
+/// Extracts the string value of `"name": "…"` from a one-finding-per-line
+/// JSON report, still escaped — keys are compared in escaped form, so no
+/// unescaper is needed.
+fn json_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut end = 0;
+    let b = rest.as_bytes();
+    while end < b.len() {
+        match b[end] {
+            b'\\' => end += 2,
+            b'"' => return Some(&rest[..end]),
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+/// Keys of the findings recorded in a baseline report. Line numbers are
+/// deliberately not part of the key: unrelated edits move findings around,
+/// and a moved finding is not a new one.
+fn baseline_keys(text: &str) -> Vec<(String, String, String)> {
+    text.lines()
+        .filter_map(|l| {
+            Some((
+                json_field(l, "check")?.to_string(),
+                json_field(l, "file")?.to_string(),
+                json_field(l, "msg")?.to_string(),
+            ))
+        })
+        .collect()
+}
+
+fn finding_key(f: &Finding) -> (String, String, String) {
+    (json_escape(f.check), json_escape(&f.file), json_escape(&f.msg))
+}
+
+// ---------------------------------------------------------------------------
 // The run
 // ---------------------------------------------------------------------------
 
-pub fn run(root: &Path, bless: bool) -> Report {
+pub fn run(root: &Path, opts: &Options) -> Report {
     let files = load_files(root);
     let mut findings = Vec::new();
     let mut passes = Vec::new();
+    let enabled = |name: &str| opts.only.as_deref().is_none_or(|o| o == name);
+
+    // The interprocedural workspace: function index + call graph + effect
+    // summaries, shared by the persist-ordering, fence-budget and
+    // lock-order passes.
+    let ws_inputs: Vec<WsFile> =
+        files.iter().map(|f| WsFile { rel: f.rel.clone(), src: f.src.clone() }).collect();
+    let t0 = Instant::now();
+    let ws = Workspace::build(&ws_inputs);
+    passes.push(PassStat { name: "summaries", millis: t0.elapsed().as_millis(), findings: 0 });
 
     let mut timed = |name: &'static str,
                      findings: &mut Vec<Finding>,
@@ -277,114 +464,170 @@ pub fn run(root: &Path, bless: bool) -> Report {
     };
 
     // Pass 1: facade discipline.
-    timed("facade", &mut findings, &mut |findings| {
-        for sf in files.iter().filter(|f| in_dirs(&f.rel, FACADE_DIRS)) {
-            for v in lint::check_facade(&sf.path, &sf.src, sf.stripped(), sf.test_spans()) {
-                findings.push(Finding {
-                    check: "facade",
-                    file: sf.rel.clone(),
-                    line: v.line as u32,
-                    symbol: String::new(),
-                    msg: v.msg,
-                });
-            }
-        }
-    });
-
-    // Pass 2: SAFETY comments (whole workspace).
-    timed("safety-comment", &mut findings, &mut |findings| {
-        for sf in &files {
-            for v in lint::check_safety_comments(&sf.path, &sf.src, sf.stripped()) {
-                findings.push(Finding {
-                    check: "safety-comment",
-                    file: sf.rel.clone(),
-                    line: v.line as u32,
-                    symbol: String::new(),
-                    msg: v.msg,
-                });
-            }
-        }
-    });
-
-    // Pass 3: persist-ordering dataflow.
-    timed("persist-ordering", &mut findings, &mut |findings| {
-        for sf in files.iter().filter(|f| in_dirs(&f.rel, PERSIST_DIRS)) {
-            let spans = sf.test_spans().to_vec();
-            for func in cfg::functions(sf.trees()) {
-                if in_spans(&spans, func.off) {
-                    continue;
-                }
-                for exit in cfg::dirty_exits(&func.body, func.end_line) {
+    if enabled("facade") {
+        timed("facade", &mut findings, &mut |findings| {
+            for sf in files.iter().filter(|f| in_dirs(&f.rel, FACADE_DIRS)) {
+                for (line, msg) in text::check_facade(&sf.src, sf.stripped(), sf.test_spans()) {
                     findings.push(Finding {
-                        check: "persist-ordering",
+                        check: "facade",
                         file: sf.rel.clone(),
-                        line: exit.write_line,
+                        line,
                         symbol: String::new(),
-                    msg: exit.describe(&func.name),
+                        msg,
                     });
                 }
             }
-        }
-    });
+        });
+    }
+
+    // Pass 2: SAFETY comments (whole workspace).
+    if enabled("safety-comment") {
+        timed("safety-comment", &mut findings, &mut |findings| {
+            for sf in &files {
+                for (line, msg) in text::check_safety_comments(&sf.src, sf.stripped()) {
+                    findings.push(Finding {
+                        check: "safety-comment",
+                        file: sf.rel.clone(),
+                        line,
+                        symbol: String::new(),
+                        msg,
+                    });
+                }
+            }
+        });
+    }
+
+    // Pass 3: persist-ordering dataflow, through the call oracle.
+    if enabled("persist-ordering") {
+        timed("persist-ordering", &mut findings, &mut |findings| {
+            for i in ws.fns_in(PERSIST_DIRS) {
+                let info = ws.fn_info(i);
+                let oracle = ws.oracle(i);
+                for exit in cfg::dirty_exits_with(&info.body, info.end_line, &oracle) {
+                    findings.push(Finding {
+                        check: "persist-ordering",
+                        file: ws.fn_rel(i).to_string(),
+                        line: exit.write_line,
+                        symbol: String::new(),
+                        msg: exit.describe(&info.name),
+                    });
+                }
+            }
+        });
+    }
 
     // Pass 4: PM layout audit + golden fingerprints.
-    let mut blessed = false;
-    timed("pm-layout", &mut findings, &mut |findings| {
-        let mut all = Vec::new();
-        for sf in &files {
-            all.extend(layout::structs(&sf.rel, sf.trees()));
-        }
-        let (pm, layout_findings) = layout::audit(&all);
-        for f in layout_findings {
-            findings.push(Finding {
-                check: "pm-layout",
-                file: f.file,
-                line: f.line,
-                symbol: f.symbol,
-                msg: f.msg,
-            });
-        }
-        if bless {
-            let rendered = layout::render_lock(&pm);
-            if std::fs::write(root.join(LOCK_PATH), rendered).is_ok() {
-                blessed = true;
-            } else {
-                findings.push(Finding {
-                    check: "pm-layout",
-                    file: LOCK_PATH.to_string(),
-                    line: 0,
-                    symbol: String::new(),
-                    msg: "failed to write the lock file".to_string(),
-                });
+    let mut blessed = Vec::new();
+    if enabled("pm-layout") {
+        timed("pm-layout", &mut findings, &mut |findings| {
+            let mut all = Vec::new();
+            for sf in &files {
+                all.extend(layout::structs(&sf.rel, sf.trees()));
             }
-        } else {
-            let lock = std::fs::read_to_string(root.join(LOCK_PATH)).ok();
-            for f in layout::diff_lock(&pm, lock.as_deref()) {
+            let (pm, layout_findings) = layout::audit(&all);
+            for f in layout_findings {
                 findings.push(Finding {
                     check: "pm-layout",
                     file: f.file,
                     line: f.line,
-                    symbol: String::new(),
+                    symbol: f.symbol,
                     msg: f.msg,
                 });
             }
-        }
-    });
+            if opts.bless {
+                let rendered = layout::render_lock(&pm);
+                if std::fs::write(root.join(LOCK_PATH), rendered).is_ok() {
+                    blessed.push(LOCK_PATH);
+                } else {
+                    findings.push(Finding {
+                        check: "pm-layout",
+                        file: LOCK_PATH.to_string(),
+                        line: 0,
+                        symbol: String::new(),
+                        msg: "failed to write the lock file".to_string(),
+                    });
+                }
+            } else {
+                let lock = std::fs::read_to_string(root.join(LOCK_PATH)).ok();
+                for f in layout::diff_lock(&pm, lock.as_deref()) {
+                    findings.push(Finding {
+                        check: "pm-layout",
+                        file: f.file,
+                        line: f.line,
+                        symbol: String::new(),
+                        msg: f.msg,
+                    });
+                }
+            }
+        });
+    }
 
     // Pass 5: atomic-ordering audit.
-    timed("atomic-ordering", &mut findings, &mut |findings| {
-        for sf in files.iter().filter(|f| in_dirs(&f.rel, ORDERING_DIRS)) {
-            for f in ordering::check_relaxed(&sf.src, sf.stripped(), sf.test_spans()) {
+    if enabled("atomic-ordering") {
+        timed("atomic-ordering", &mut findings, &mut |findings| {
+            for sf in files.iter().filter(|f| in_dirs(&f.rel, ORDERING_DIRS)) {
+                for f in ordering::check_relaxed(&sf.src, sf.stripped(), sf.test_spans()) {
+                    findings.push(Finding {
+                        check: "atomic-ordering",
+                        file: sf.rel.clone(),
+                        line: f.line,
+                        symbol: String::new(),
+                        msg: f.msg,
+                    });
+                }
+            }
+        });
+    }
+
+    // Pass 6: fence budgets vs fence_budget.lock.
+    if enabled("fence-budget") {
+        timed("fence-budget", &mut findings, &mut |findings| {
+            let (budgets, mut fence_findings) = fences::compute(&ws, fences::ENTRIES);
+            if opts.bless {
+                let rendered = fences::render_lock(&budgets, fences::CRASH_MATRIX_FENCES);
+                if std::fs::write(root.join(fences::FENCE_BUDGET_PATH), rendered).is_ok() {
+                    blessed.push(fences::FENCE_BUDGET_PATH);
+                } else {
+                    fence_findings.push((
+                        fences::FENCE_BUDGET_PATH.to_string(),
+                        0,
+                        "failed to write the lock file".to_string(),
+                    ));
+                }
+            } else {
+                let lock = std::fs::read_to_string(root.join(fences::FENCE_BUDGET_PATH)).ok();
+                fence_findings.extend(fences::check(
+                    &budgets,
+                    fences::CRASH_MATRIX_FENCES,
+                    lock.as_deref(),
+                ));
+            }
+            for (file, line, msg) in fence_findings {
                 findings.push(Finding {
-                    check: "atomic-ordering",
-                    file: sf.rel.clone(),
-                    line: f.line,
+                    check: "fence-budget",
+                    file,
+                    line,
                     symbol: String::new(),
-                    msg: f.msg,
+                    msg,
                 });
             }
-        }
-    });
+        });
+    }
+
+    // Pass 7: lock-order audit.
+    if enabled("lock-order") {
+        timed("lock-order", &mut findings, &mut |findings| {
+            for (file, line, msg) in locks::check(&ws) {
+                findings.push(Finding {
+                    check: "lock-order",
+                    file,
+                    line,
+                    symbol: String::new(),
+                    msg,
+                });
+            }
+        });
+    }
 
     // Suppressions: drop matching findings, flag expired/unused entries.
     let suppressions = load_suppressions(root, &mut findings);
@@ -402,15 +645,20 @@ pub fn run(root: &Path, bless: bool) -> Report {
     });
     let suppressed = before - findings.len();
     for s in &suppressions {
+        // An `--only` run that skipped the entry's pass cannot judge whether
+        // it is still needed.
+        if opts.only.as_deref().is_some_and(|o| o != s.check) {
+            continue;
+        }
         if s.until_days < today {
             findings.push(Finding {
                 check: "suppressions",
                 file: SUPPRESSIONS_PATH.to_string(),
                 line: s.src_line,
                 symbol: String::new(),
-                    msg: format!(
-                    "suppression for {}:{} [{}] has expired — fix the finding or re-argue \
-                     the entry with a new expiry",
+                msg: format!(
+                    "suppression for {}:{} (pass `{}`) has expired — fix the finding or \
+                     re-argue the entry with a new expiry",
                     s.file, s.line, s.check
                 ),
             });
@@ -420,9 +668,9 @@ pub fn run(root: &Path, bless: bool) -> Report {
                 file: SUPPRESSIONS_PATH.to_string(),
                 line: s.src_line,
                 symbol: String::new(),
-                    msg: format!(
-                    "suppression for {}:{} [{}] matched nothing — the finding is gone, \
-                     delete the entry",
+                msg: format!(
+                    "suppression for {}:{} (pass `{}`) matched nothing — the finding is \
+                     gone, delete the entry",
                     s.file, s.line, s.check
                 ),
             });
@@ -430,7 +678,58 @@ pub fn run(root: &Path, bless: bool) -> Report {
     }
 
     findings.sort_by(|a, b| (&a.file, a.line, a.check).cmp(&(&b.file, b.line, b.check)));
-    Report { findings, passes, suppressed, files: files.len(), blessed }
+
+    // Baseline diff: drop findings the committed report already records.
+    let mut baselined = 0;
+    if let Some(path) = &opts.baseline {
+        match std::fs::read_to_string(if path.is_absolute() {
+            path.clone()
+        } else {
+            root.join(path)
+        }) {
+            Ok(text) => {
+                let keys = baseline_keys(&text);
+                let before = findings.len();
+                findings.retain(|f| !keys.contains(&finding_key(f)));
+                baselined = before - findings.len();
+            }
+            Err(e) => findings.push(Finding {
+                check: "suppressions",
+                file: path.display().to_string(),
+                line: 0,
+                symbol: String::new(),
+                msg: format!("cannot read baseline report: {e}"),
+            }),
+        }
+    }
+
+    let mut report =
+        Report { findings, passes, suppressed, baselined, files: files.len(), blessed };
+
+    // Bless the baseline last: it records the post-suppression report, with
+    // timings zeroed so re-blessing an unchanged workspace is a no-op diff.
+    if opts.bless {
+        let mut stable = render_json(&report);
+        for p in &report.passes {
+            stable = stable.replace(
+                &format!("\"name\": \"{}\", \"findings\": {}, \"millis\": {}", p.name, p.findings, p.millis),
+                &format!("\"name\": \"{}\", \"findings\": {}, \"millis\": 0", p.name, p.findings),
+            );
+        }
+        if std::fs::write(root.join(BASELINE_PATH), stable).is_ok() {
+            report.blessed.push(BASELINE_PATH);
+        } else {
+            report.findings.push(Finding {
+                check: "suppressions",
+                file: BASELINE_PATH.to_string(),
+                line: 0,
+                symbol: String::new(),
+                msg: "failed to write the baseline report".to_string(),
+            });
+        }
+    }
+
+    report
 }
 
 // ---------------------------------------------------------------------------
@@ -449,15 +748,16 @@ pub fn render_human(r: &Report) -> String {
             p.name, p.findings, p.millis
         );
     }
-    if r.blessed {
-        let _ = writeln!(out, "xtask analyze: wrote {LOCK_PATH}");
+    for path in &r.blessed {
+        let _ = writeln!(out, "xtask analyze: wrote {path}");
     }
     let _ = writeln!(
         out,
-        "xtask analyze: {} file(s), {} finding(s), {} suppressed",
+        "xtask analyze: {} file(s), {} finding(s), {} suppressed, {} baselined",
         r.files,
         r.findings.len(),
-        r.suppressed
+        r.suppressed,
+        r.baselined
     );
     out
 }
@@ -481,9 +781,10 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Machine-readable report for the CI artifact. Hand-rolled: the workspace
-/// builds offline and xtask deliberately has no dependencies.
+/// builds offline and xtask deliberately has no dependencies. Version 2
+/// adds the fence-budget / lock-order passes and the `baselined` counter.
 pub fn render_json(r: &Report) -> String {
-    let mut out = String::from("{\n  \"version\": 1,\n  \"passes\": [\n");
+    let mut out = String::from("{\n  \"version\": 2,\n  \"passes\": [\n");
     for (i, p) in r.passes.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -510,8 +811,8 @@ pub fn render_json(r: &Report) -> String {
     }
     let _ = write!(
         out,
-        "  ],\n  \"files\": {},\n  \"suppressed\": {}\n}}\n",
-        r.files, r.suppressed
+        "  ],\n  \"files\": {},\n  \"suppressed\": {},\n  \"baselined\": {}\n}}\n",
+        r.files, r.suppressed, r.baselined
     );
     out
 }
@@ -546,7 +847,8 @@ mod tests {
             "# comment\n\
              persist-ordering crates/vhistory/src/x.rs:10 until=2099-01-01 tracked in #42\n\
              bad-line-without-fields\n\
-             facade crates/pmem/src/y.rs:notanumber until=2099-01-01 reason\n",
+             facade crates/pmem/src/y.rs:notanumber until=2099-01-01 reason\n\
+             not-a-pass crates/pmem/src/y.rs:3 until=2099-01-01 reason\n",
         )
         .unwrap();
         let mut findings = Vec::new();
@@ -554,7 +856,39 @@ mod tests {
         assert_eq!(sups.len(), 1);
         assert_eq!(sups[0].check, "persist-ordering");
         assert_eq!(sups[0].line, 10);
-        assert_eq!(findings.len(), 2, "both malformed lines flagged: {findings:?}");
+        assert_eq!(findings.len(), 3, "malformed + unknown-pass lines flagged: {findings:?}");
+        assert!(findings[2].msg.contains("unknown pass"), "{}", findings[2].msg);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_check_has_an_explanation() {
+        for id in check_ids() {
+            let text = explain(id).unwrap();
+            assert!(text.contains("rule:") && text.contains("escape hatch:"), "{id}");
+        }
+        assert!(explain("no-such-check").is_none());
+    }
+
+    #[test]
+    fn baseline_keys_round_trip_through_the_json_report() {
+        let r = Report {
+            findings: vec![Finding {
+                check: "lock-order",
+                file: "crates/core/src/a.rs".to_string(),
+                line: 7,
+                symbol: String::new(),
+                msg: "lock `a` held across \"fence\"".to_string(),
+            }],
+            passes: Vec::new(),
+            suppressed: 0,
+            baselined: 0,
+            files: 1,
+            blessed: Vec::new(),
+        };
+        let json = render_json(&r);
+        let keys = baseline_keys(&json);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0], finding_key(&r.findings[0]));
     }
 }

@@ -18,6 +18,15 @@
 //! violation while per-arm flushes, early returns before the first write and
 //! loops that persist each iteration all check precisely.
 //!
+//! Since ISSUE 8 the AST also records **calls** (with enough receiver context
+//! to resolve them against the workspace function index), **lock
+//! acquisitions** (`.lock()` / `.try_lock()` with the dotted chain and the
+//! `let` binding the guard lands in) and **explicit `drop(guard)`** releases.
+//! The dataflow is parameterized over a [`CallOracle`] so the interprocedural
+//! summary layer (`summary.rs`) can plug per-function transfer functions into
+//! the same evaluator; [`NoOracle`] keeps the original intraprocedural
+//! semantics where calls are effect-free.
+//!
 //! Deliberate parity with the old lint where address tracking would be
 //! needed: *any* flush call clears the dirty state (the pass does not prove
 //! the flushed range covers the written range), and panicking paths carry no
@@ -35,7 +44,7 @@ const ABORT_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 /// True for callee names that flush or order persistent stores. Matched
 /// structurally (prefix/suffix), not by substring, so `fence_count()` — a
 /// getter — is *not* a flush.
-fn is_flush_name(name: &str) -> bool {
+pub(crate) fn is_flush_name(name: &str) -> bool {
     name == "persist"
         || name.starts_with("persist_")
         || name == "flush"
@@ -47,6 +56,16 @@ fn is_flush_name(name: &str) -> bool {
 
 fn is_dirty_name(name: &str) -> bool {
     DIRTY_CALLS.contains(&name)
+}
+
+/// Keywords that can be directly followed by a `(` group without being a
+/// call (`in (0..n)`, `let (a, b) = …`). Prevents spurious [`Node::Call`]s.
+fn is_expr_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "let" | "else" | "in" | "as" | "mut" | "ref" | "pub" | "crate" | "super" | "dyn"
+            | "static" | "const" | "async" | "await" | "where" | "self" | "Self"
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -73,13 +92,62 @@ impl ExitKind {
     }
 }
 
+/// Receiver context captured at a call site, used by the summary layer to
+/// narrow which workspace functions the call can resolve to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hint {
+    /// No receiver information (free call, or an unrecognized shape).
+    None,
+    /// `self.method(…)` or `Self::assoc(…)` — the callee lives on the
+    /// caller's own impl type.
+    SelfTy,
+    /// `Type::assoc(…)` or `TYPE_EXPR.method(…)` with an uppercase receiver.
+    Ty(String),
+    /// `recv.method(…)` where `recv` is a lowercase ident or a call result:
+    /// the receiver's type is whatever functions named `func` return.
+    Ret { func: String, owner: Option<String> },
+}
+
+/// One call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    pub name: String,
+    pub line: u32,
+    /// True when invoked through `.` (method call).
+    pub dotted: bool,
+    pub hint: Hint,
+    /// True only for a literal zero-argument `fence()` — the store fence
+    /// primitive. `fence(Ordering::…)` (the atomic fence) and named fences
+    /// that *contain* an sfence are counted through resolution instead.
+    pub sfence: bool,
+}
+
+/// One `.lock()` / `.try_lock()` acquisition site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    pub line: u32,
+    /// The dotted/path chain leading to the lock, e.g. `self.large_free` →
+    /// `["self", "large_free"]`. The last segment names the mutex.
+    pub chain: Vec<String>,
+    /// The `let` binding the guard lands in, when the statement has one.
+    /// `None` means the guard is a temporary dropped at end of statement.
+    pub binding: Option<String>,
+}
+
 #[derive(Debug)]
 pub enum Node {
     Seq(Vec<Node>),
-    /// A dirty PM write; carries line and callee name for reporting.
+    /// A dirty PM write; carries line for reporting.
     Write { line: u32 },
-    /// A persist/flush/fence call.
-    Flush,
+    /// A persist/flush/fence call. Always clears dirtiness; the carried
+    /// [`Call`] lets the summary layer count sfences through it.
+    Flush(Call),
+    /// Any other call with an argument list. Effect depends on the oracle.
+    Call(Call),
+    /// A mutex acquisition.
+    Lock(LockSite),
+    /// An explicit `drop(binding)`.
+    Unlock { binding: String },
     /// Mutually exclusive alternatives (if/else, match arms). An absent
     /// `else` contributes an empty alternative.
     Branch(Vec<Node>),
@@ -95,8 +163,15 @@ pub enum Node {
 /// One analyzed function.
 pub struct FnInfo {
     pub name: String,
+    /// The `impl`/`trait` type this fn is defined on, when any.
+    pub owner: Option<String>,
+    /// Uppercase type idents appearing in the return type (`Self` mapped to
+    /// the owner). Used to resolve `recv.method(…)` through getter returns.
+    pub ret_idents: Vec<String>,
     /// Byte offset of the `fn` keyword (for `#[cfg(test)]` span filtering).
     pub off: usize,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
     /// Last source line of the body (for implicit-exit reporting).
     pub end_line: u32,
     pub body: Node,
@@ -107,52 +182,171 @@ pub struct FnInfo {
 // ---------------------------------------------------------------------------
 
 /// Finds every `fn` with a body, at any nesting depth (impls, mods, nested
-/// fns). Each function's body is parsed into its effect AST.
+/// fns), threading the `impl`/`trait` owner type down to each function.
 pub fn functions(trees: &[Tree]) -> Vec<FnInfo> {
     let mut out = Vec::new();
-    collect_fns(trees, &mut out);
+    collect_fns(trees, None, &mut out);
     out
 }
 
-fn collect_fns(trees: &[Tree], out: &mut Vec<FnInfo>) {
+fn collect_fns(trees: &[Tree], owner: Option<&str>, out: &mut Vec<FnInfo>) {
     let mut i = 0;
     while i < trees.len() {
-        if trees[i].ident() == Some("fn") {
-            if let Some((name, off)) = trees.get(i + 1).and_then(|t| match t {
-                Tree::Leaf(tok) if tok.kind == TokKind::Ident => {
-                    Some((tok.text.clone(), trees[i].off()))
-                }
-                _ => None,
-            }) {
-                // Body: first `{` group before a `;` at this level.
-                let mut j = i + 2;
-                let mut body = None;
-                while j < trees.len() {
-                    match &trees[j] {
-                        Tree::Group(g) if g.delim == '{' => {
-                            body = Some(g);
-                            break;
-                        }
-                        Tree::Leaf(t) if t.kind == TokKind::Punct && t.text == ";" => break,
-                        _ => j += 1,
-                    }
-                }
+        match trees[i].ident() {
+            Some("impl") => {
+                let (body_at, body) = until_brace(trees, i + 1);
                 if let Some(g) = body {
-                    out.push(FnInfo {
-                        name,
-                        off,
-                        end_line: body_end_line(&g.trees).max(g.line),
-                        body: parse_seq(&g.trees),
-                    });
+                    let ty = impl_header(&trees[i + 1..body_at]);
+                    collect_fns(&g.trees, ty.as_deref(), out);
+                    i = body_at + 1;
+                    continue;
                 }
-                i = j.min(trees.len().saturating_sub(1)); // recursed into below
+                i = body_at;
+                continue;
             }
+            Some("trait") => {
+                let name = trees.get(i + 1).and_then(Tree::ident).map(str::to_string);
+                let (body_at, body) = until_brace(trees, i + 1);
+                if let Some(g) = body {
+                    // Default method bodies resolve `Self` to the trait name.
+                    collect_fns(&g.trees, name.as_deref(), out);
+                    i = body_at + 1;
+                    continue;
+                }
+                i = body_at;
+                continue;
+            }
+            Some("fn") => {
+                if let Some(name) = trees.get(i + 1).and_then(Tree::ident) {
+                    let name = name.to_string();
+                    let off = trees[i].off();
+                    let line = trees[i].line();
+                    // Body: first `{` group before a `;` at this level.
+                    let mut j = i + 2;
+                    let mut body = None;
+                    while j < trees.len() {
+                        match &trees[j] {
+                            Tree::Group(g) if g.delim == '{' => {
+                                body = Some(g);
+                                break;
+                            }
+                            Tree::Leaf(t) if t.kind == TokKind::Punct && t.text == ";" => break,
+                            _ => j += 1,
+                        }
+                    }
+                    if let Some(g) = body {
+                        out.push(FnInfo {
+                            ret_idents: ret_idents(&trees[i + 2..j], owner),
+                            name,
+                            owner: owner.map(str::to_string),
+                            off,
+                            line,
+                            end_line: body_end_line(&g.trees).max(g.line),
+                            body: parse_seq(&g.trees),
+                        });
+                        // Nested fns inside the body carry no owner.
+                        collect_fns(&g.trees, None, out);
+                        i = j + 1;
+                        continue;
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            _ => {}
         }
         if let Tree::Group(g) = &trees[i] {
-            collect_fns(&g.trees, out);
+            collect_fns(&g.trees, None, out);
         }
         i += 1;
     }
+}
+
+/// Extracts the implemented type from an `impl` header (the tokens between
+/// `impl` and the body brace): the first uppercase ident at angle-bracket
+/// depth 0, taking the one after `for` when the impl is a trait impl.
+fn impl_header(trees: &[Tree]) -> Option<String> {
+    let mut depth = 0i32;
+    let mut ty: Option<String> = None;
+    for t in trees {
+        if let Some(p) = t.punct() {
+            match p {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            continue;
+        }
+        if depth != 0 {
+            continue;
+        }
+        if let Some(id) = t.ident() {
+            if id == "for" {
+                ty = None; // trait impl: the implemented type follows
+            } else if id == "where" {
+                break;
+            } else if ty.is_none() && id.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                ty = Some(id.to_string());
+            }
+        }
+    }
+    ty
+}
+
+/// Collects the uppercase type idents in a fn signature's return type
+/// (tokens between `fn name` and the body). `Self` maps to the owner.
+fn ret_idents(sig: &[Tree], owner: Option<&str>) -> Vec<String> {
+    let mut i = 0;
+    while i < sig.len() && sig[i].punct() != Some("->") {
+        i += 1;
+    }
+    let mut out = Vec::new();
+    if i >= sig.len() {
+        return out;
+    }
+    fn push(out: &mut Vec<String>, s: &str) {
+        if !out.iter().any(|x| x == s) {
+            out.push(s.to_string());
+        }
+    }
+    fn walk_groups(trees: &[Tree], owner: Option<&str>, out: &mut Vec<String>) {
+        for t in trees {
+            match t {
+                Tree::Leaf(tok) if tok.kind == TokKind::Ident => {
+                    if tok.text == "Self" {
+                        if let Some(o) = owner {
+                            push(out, o);
+                        }
+                    } else if tok.text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                        push(out, &tok.text);
+                    }
+                }
+                Tree::Group(g) => walk_groups(&g.trees, owner, out),
+                _ => {}
+            }
+        }
+    }
+    for t in &sig[i + 1..] {
+        match t {
+            Tree::Leaf(tok) if tok.kind == TokKind::Ident => {
+                if tok.text == "where" {
+                    break; // bound types are not return types
+                }
+                if tok.text == "Self" {
+                    if let Some(o) = owner {
+                        push(&mut out, o);
+                    }
+                } else if tok.text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    push(&mut out, &tok.text);
+                }
+            }
+            Tree::Group(g) => walk_groups(&g.trees, owner, &mut out),
+            _ => {}
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -261,23 +455,61 @@ fn parse_one(trees: &[Tree], i: usize, nodes: &mut Vec<Node>) -> usize {
                 nodes.push(Node::Abort);
                 return j;
             }
-            name if is_dirty_name(name) || is_flush_name(name) => {
-                // A call requires an argument group right after the name.
-                if let Some(Tree::Group(g)) = trees.get(i + 1) {
-                    if g.delim == '(' {
-                        // Args evaluate first.
-                        nodes.push(parse_seq(&g.trees));
-                        if is_dirty_name(name) {
-                            nodes.push(Node::Write { line: t.line() });
-                        } else {
-                            nodes.push(Node::Flush);
+            name => {
+                let Some(Tree::Group(g)) = trees.get(i + 1) else { return i + 1 };
+                if g.delim != '(' || is_expr_keyword(name) {
+                    return i + 1;
+                }
+                if is_dirty_name(name) {
+                    nodes.push(parse_seq(&g.trees)); // args evaluate first
+                    nodes.push(Node::Write { line: t.line() });
+                    return i + 2;
+                }
+                if is_flush_name(name) {
+                    nodes.push(parse_seq(&g.trees));
+                    let (dotted, hint) = call_hint(trees, i);
+                    nodes.push(Node::Flush(Call {
+                        name: name.to_string(),
+                        line: t.line(),
+                        dotted,
+                        hint,
+                        sfence: name == "fence" && g.trees.is_empty(),
+                    }));
+                    return i + 2;
+                }
+                if name == "drop" {
+                    if let [Tree::Leaf(tok)] = g.trees.as_slice() {
+                        if tok.kind == TokKind::Ident {
+                            nodes.push(Node::Unlock { binding: tok.text.clone() });
+                            return i + 2;
                         }
-                        return i + 2;
                     }
                 }
-                return i + 1;
+                if (name == "lock" || name == "try_lock")
+                    && g.trees.is_empty()
+                    && i > 0
+                    && trees[i - 1].punct() == Some(".")
+                {
+                    nodes.push(Node::Lock(lock_site(trees, i)));
+                    return i + 2;
+                }
+                if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    // Tuple-struct / enum-variant constructor (Some, Ok,
+                    // Err, custom variants): args only, no call effect.
+                    nodes.push(parse_seq(&g.trees));
+                    return i + 2;
+                }
+                nodes.push(parse_seq(&g.trees)); // args evaluate first
+                let (dotted, hint) = call_hint(trees, i);
+                nodes.push(Node::Call(Call {
+                    name: name.to_string(),
+                    line: t.line(),
+                    dotted,
+                    hint,
+                    sfence: false,
+                }));
+                return i + 2;
             }
-            _ => return i + 1,
         }
     }
     if let Some(p) = t.punct() {
@@ -295,6 +527,162 @@ fn parse_one(trees: &[Tree], i: usize, nodes: &mut Vec<Node>) -> usize {
         return i + 1;
     }
     i + 1
+}
+
+/// Computes the receiver context for the callee ident at `i` (which is
+/// followed by its argument group).
+fn call_hint(trees: &[Tree], i: usize) -> (bool, Hint) {
+    if i == 0 {
+        return (false, Hint::None);
+    }
+    match trees[i - 1].punct() {
+        Some("::") => {
+            if let Some(q) = i.checked_sub(2).and_then(|k| trees[k].ident()) {
+                if q == "Self" {
+                    return (false, Hint::SelfTy);
+                }
+                if q.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    return (false, Hint::Ty(q.to_string()));
+                }
+            }
+            (false, Hint::None) // module path — a free call
+        }
+        Some(".") => {
+            if i < 2 {
+                return (true, Hint::None);
+            }
+            // Skip postfix `?` and index groups back to the receiver head.
+            let mut k = i - 2;
+            loop {
+                let postfix = match &trees[k] {
+                    Tree::Leaf(t) => t.kind == TokKind::Punct && t.text == "?",
+                    Tree::Group(g) => g.delim == '[',
+                };
+                if !postfix {
+                    break;
+                }
+                let Some(prev) = k.checked_sub(1) else { return (true, Hint::None) };
+                k = prev;
+            }
+            match &trees[k] {
+                Tree::Leaf(t) if t.kind == TokKind::Ident => {
+                    if t.text == "self" {
+                        (true, Hint::SelfTy)
+                    } else if t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                        (true, Hint::Ty(t.text.clone()))
+                    } else {
+                        // Field or local: resolve through getters named the
+                        // same (empty getter set falls back to Hint::None).
+                        (true, Hint::Ret { func: t.text.clone(), owner: None })
+                    }
+                }
+                Tree::Group(g) if g.delim == '(' => {
+                    // Call-result receiver: `f(…).method(…)`.
+                    let Some(func) = k.checked_sub(1).and_then(|j| trees[j].ident()) else {
+                        return (true, Hint::None);
+                    };
+                    let owner = k
+                        .checked_sub(2)
+                        .filter(|&j| trees[j].punct() == Some("::"))
+                        .and_then(|j| j.checked_sub(1))
+                        .and_then(|j| trees[j].ident())
+                        .filter(|q| q.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+                        .map(str::to_string);
+                    (true, Hint::Ret { func: func.to_string(), owner })
+                }
+                _ => (true, Hint::None),
+            }
+        }
+        _ => (false, Hint::None),
+    }
+}
+
+/// Idents that cannot be part of a receiver chain.
+fn chain_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "match" | "if" | "while" | "let" | "in" | "return" | "else" | "mut" | "move" | "ref"
+            | "as" | "for" | "loop" | "break" | "continue"
+    )
+}
+
+/// Reconstructs the dotted chain and `let` binding for the `.lock()` at `i`
+/// (the `lock`/`try_lock` ident; `trees[i-1]` is the dot).
+fn lock_site(trees: &[Tree], i: usize) -> LockSite {
+    let line = trees[i].line();
+    let mut chain: Vec<String> = Vec::new();
+    let mut stop: Option<usize> = None;
+    let mut idx = i - 1; // the separator dot
+    'walk: loop {
+        if idx == 0 {
+            break;
+        }
+        idx -= 1;
+        // Skip postfix `?` and `(…)`/`[…]` groups within the segment.
+        loop {
+            let postfix = match &trees[idx] {
+                Tree::Leaf(t) => t.kind == TokKind::Punct && t.text == "?",
+                Tree::Group(g) => g.delim == '(' || g.delim == '[',
+            };
+            if !postfix {
+                break;
+            }
+            if idx == 0 {
+                break 'walk;
+            }
+            idx -= 1;
+        }
+        match &trees[idx] {
+            Tree::Leaf(t) if t.kind == TokKind::Ident && !chain_keyword(&t.text) => {
+                chain.push(t.text.clone());
+            }
+            _ => {
+                stop = Some(idx);
+                break;
+            }
+        }
+        if idx == 0 {
+            break;
+        }
+        match trees[idx - 1].punct() {
+            Some(".") | Some("::") => idx -= 1, // another separator
+            _ => {
+                stop = Some(idx - 1);
+                break;
+            }
+        }
+    }
+    chain.reverse();
+    let binding = stop.and_then(|s| binding_at(trees, s));
+    LockSite { line, chain, binding }
+}
+
+/// When the token at `s` is the `=` of a `let`/`if let`, extracts the guard
+/// binding: `let [mut] name =`, `Ok(name)`/`Some(name)` patterns included.
+fn binding_at(trees: &[Tree], s: usize) -> Option<String> {
+    if trees[s].punct() != Some("=") {
+        return None;
+    }
+    let prev = s.checked_sub(1)?;
+    match &trees[prev] {
+        Tree::Leaf(t) if t.kind == TokKind::Ident && !chain_keyword(&t.text) => {
+            Some(t.text.clone())
+        }
+        Tree::Group(g) if g.delim == '(' => {
+            // `Ok(mut name)` / `Some(name)` destructuring.
+            let ctor = prev.checked_sub(1).and_then(|j| trees[j].ident())?;
+            if !matches!(ctor, "Ok" | "Some") {
+                return None;
+            }
+            g.trees.iter().rev().find_map(|t| match t {
+                Tree::Leaf(tok) if tok.kind == TokKind::Ident && tok.text != "mut" => {
+                    Some(tok.text.clone())
+                }
+                _ => None,
+            })
+        }
+        _ => None,
+    }
 }
 
 /// Heuristic: a `|` token opens a closure when it starts an expression —
@@ -475,12 +863,53 @@ fn parse_match_arms(trees: &[Tree]) -> Vec<Node> {
 // Dataflow
 // ---------------------------------------------------------------------------
 
-/// Path state: `None` = clean, `Some(line)` = dirty since the write at
-/// `line`.
-type St = Option<u32>;
+/// Provenance of a dirty state: the line that dirtied it, and whether it was
+/// a direct `write_*` or a call whose summary says it may leave PM dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dirt {
+    pub line: u32,
+    pub via_call: bool,
+}
+
+/// Path state: `None` = clean, `Some(d)` = dirty since `d`.
+type St = Option<Dirt>;
 
 fn merge(a: St, b: St) -> St {
     a.or(b)
+}
+
+/// How a call transforms the dirty state — the interprocedural transfer
+/// function of the callee, joined over every candidate it may resolve to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Entering clean, the callee may exit with PM dirty.
+    pub dirty_when_clean: bool,
+    /// Entering dirty, the callee flushes on *every* path before exiting.
+    pub clean_when_dirty: bool,
+}
+
+impl Transfer {
+    /// Unresolved calls: no effect on the state (the original
+    /// intraprocedural semantics).
+    pub const IDENTITY: Transfer = Transfer { dirty_when_clean: false, clean_when_dirty: false };
+}
+
+/// Supplies a [`Transfer`] per call site. The summary layer implements this
+/// over the workspace function index; [`NoOracle`] is the intraprocedural
+/// degenerate.
+pub trait CallOracle {
+    fn transfer(&self, call: &Call) -> Transfer;
+}
+
+/// Treats every call as effect-free.
+#[cfg(test)]
+pub struct NoOracle;
+
+#[cfg(test)]
+impl CallOracle for NoOracle {
+    fn transfer(&self, _call: &Call) -> Transfer {
+        Transfer::IDENTITY
+    }
 }
 
 #[derive(Default)]
@@ -493,13 +922,13 @@ struct Flow {
     continues: Vec<St>,
 }
 
-fn eval(n: &Node, st: St) -> Flow {
+fn eval(n: &Node, st: St, oracle: &dyn CallOracle) -> Flow {
     match n {
         Node::Seq(children) => {
             let mut flow = Flow { out: Some(st), ..Default::default() };
             for c in children {
                 let Some(cur) = flow.out else { break };
-                let f = eval(c, cur);
+                let f = eval(c, cur, oracle);
                 flow.exits.extend(f.exits);
                 flow.breaks.extend(f.breaks);
                 flow.continues.extend(f.continues);
@@ -507,13 +936,26 @@ fn eval(n: &Node, st: St) -> Flow {
             }
             flow
         }
-        Node::Write { line, .. } => Flow { out: Some(Some(*line)), ..Default::default() },
-        Node::Flush => Flow { out: Some(None), ..Default::default() },
+        Node::Write { line } => Flow {
+            out: Some(Some(Dirt { line: *line, via_call: false })),
+            ..Default::default()
+        },
+        Node::Flush(_) => Flow { out: Some(None), ..Default::default() },
+        Node::Call(call) => {
+            let t = oracle.transfer(call);
+            let out = match st {
+                None if t.dirty_when_clean => Some(Dirt { line: call.line, via_call: true }),
+                Some(_) if t.clean_when_dirty => None,
+                s => s,
+            };
+            Flow { out: Some(out), ..Default::default() }
+        }
+        Node::Lock(_) | Node::Unlock { .. } => Flow { out: Some(st), ..Default::default() },
         Node::Branch(alts) => {
             let mut flow = Flow::default();
             let mut out: Option<St> = None;
             for a in alts {
-                let f = eval(a, st);
+                let f = eval(a, st, oracle);
                 flow.exits.extend(f.exits);
                 flow.breaks.extend(f.breaks);
                 flow.continues.extend(f.continues);
@@ -529,7 +971,7 @@ fn eval(n: &Node, st: St) -> Flow {
         Node::Loop(body) => {
             // Two-pass fixpoint: the lattice has height 2, so evaluating the
             // body once more from the widened entry state reaches it.
-            let first = eval(body, st);
+            let first = eval(body, st, oracle);
             let mut widened = st;
             if let Some(o) = first.out {
                 widened = merge(widened, o);
@@ -537,7 +979,7 @@ fn eval(n: &Node, st: St) -> Flow {
             for c in &first.continues {
                 widened = merge(widened, *c);
             }
-            let second = eval(body, widened);
+            let second = eval(body, widened, oracle);
             let mut flow = Flow::default();
             flow.exits.extend(second.exits);
             // Loop exit: zero iterations, normal body fall-through, or break.
@@ -569,43 +1011,88 @@ fn eval(n: &Node, st: St) -> Flow {
 /// One dirty-exit violation within a function.
 #[derive(Debug)]
 pub struct DirtyExit {
-    /// Line of the unflushed dirty write.
+    /// Line of the unflushed dirty write (or dirtying call).
     pub write_line: u32,
     /// Line where the dirty path leaves the function.
     pub exit_line: u32,
     pub kind: ExitKind,
+    /// True when the dirtiness came from a call rather than a direct write.
+    pub via_call: bool,
 }
 
 impl DirtyExit {
     pub fn describe(&self, fn_name: &str) -> String {
+        let source = if self.via_call {
+            format!("the call at line {} may leave PM dirty and", self.write_line)
+        } else {
+            format!("the dirty PM write at line {}", self.write_line)
+        };
         format!(
-            "fn `{fn_name}`: the dirty PM write at line {} can reach the {} at line {} \
+            "fn `{fn_name}`: {source} can reach the {} at line {} \
              without a persist/flush/fence on that path; flush on every path before \
              publication (or suppress with rationale + expiry in the suppression file)",
-            self.write_line,
             self.kind.describe(),
             self.exit_line
         )
     }
 }
 
-/// Runs the dataflow over one function body. `end_line` is used as the line
-/// of the implicit fall-through exit.
+/// Runs the dataflow over one function body with the intraprocedural
+/// semantics (calls are effect-free).
+#[cfg(test)]
 pub fn dirty_exits(body: &Node, end_line: u32) -> Vec<DirtyExit> {
-    let flow = eval(body, None);
+    dirty_exits_with(body, end_line, &NoOracle)
+}
+
+/// Runs the dataflow over one function body, resolving call effects through
+/// `oracle`. `end_line` is used as the line of the implicit fall-through
+/// exit.
+pub fn dirty_exits_with(body: &Node, end_line: u32, oracle: &dyn CallOracle) -> Vec<DirtyExit> {
+    let flow = eval(body, None, oracle);
     let mut out = Vec::new();
     for (kind, line, st) in flow.exits {
-        if let Some(write_line) = st {
-            out.push(DirtyExit { write_line, exit_line: line, kind });
+        if let Some(d) = st {
+            out.push(DirtyExit {
+                write_line: d.line,
+                exit_line: line,
+                kind,
+                via_call: d.via_call,
+            });
         }
     }
-    if let Some(Some(write_line)) = flow.out {
-        out.push(DirtyExit { write_line, exit_line: end_line, kind: ExitKind::Implicit });
+    if let Some(Some(d)) = flow.out {
+        out.push(DirtyExit {
+            write_line: d.line,
+            exit_line: end_line,
+            kind: ExitKind::Implicit,
+            via_call: d.via_call,
+        });
     }
     // One report per write site is enough signal.
     out.sort_by_key(|d| (d.write_line, d.exit_line));
     out.dedup_by_key(|d| d.write_line);
     out
+}
+
+/// Computes a function's interprocedural [`Transfer`] by evaluating its body
+/// from both entry states and folding fall-through with every early exit
+/// (`return`, `?`). Abort paths carry no obligation on either run.
+pub fn transfer_of(body: &Node, oracle: &dyn CallOracle) -> Transfer {
+    let from_clean = exit_state(body, None, oracle);
+    let from_dirty = exit_state(body, Some(Dirt { line: 0, via_call: false }), oracle);
+    Transfer {
+        dirty_when_clean: from_clean.is_some(),
+        clean_when_dirty: from_dirty.is_none(),
+    }
+}
+
+fn exit_state(body: &Node, entry: St, oracle: &dyn CallOracle) -> St {
+    let flow = eval(body, entry, oracle);
+    let mut acc: St = flow.out.flatten();
+    for (_, _, s) in &flow.exits {
+        acc = merge(acc, *s);
+    }
+    acc
 }
 
 /// Last line of a function body (for implicit-exit reporting): the max line
@@ -900,5 +1387,228 @@ mod tests {
             p.fence();
         }";
         assert_eq!(violations(refill), 0);
+    }
+
+    // -- ISSUE 8: interprocedural plumbing ---------------------------------
+
+    fn collect_calls(n: &Node, out: &mut Vec<Call>) {
+        match n {
+            Node::Seq(cs) => cs.iter().for_each(|c| collect_calls(c, out)),
+            Node::Branch(alts) => alts.iter().for_each(|a| collect_calls(a, out)),
+            Node::Loop(b) => collect_calls(b, out),
+            Node::Call(c) | Node::Flush(c) => out.push(c.clone()),
+            _ => {}
+        }
+    }
+
+    fn collect_locks(n: &Node, out: &mut Vec<LockSite>) {
+        match n {
+            Node::Seq(cs) => cs.iter().for_each(|c| collect_locks(c, out)),
+            Node::Branch(alts) => alts.iter().for_each(|a| collect_locks(a, out)),
+            Node::Loop(b) => collect_locks(b, out),
+            Node::Lock(s) => out.push(s.clone()),
+            _ => {}
+        }
+    }
+
+    fn calls_of(src: &str) -> Vec<Call> {
+        let trees = parse(src);
+        let fns = functions(&trees);
+        let mut out = Vec::new();
+        for f in &fns {
+            collect_calls(&f.body, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn call_sites_carry_receiver_hints() {
+        let calls = calls_of(
+            "fn f(&self, c: &Chain) {
+                self.publish(1);
+                Self::assoc(2);
+                KeyChain::open(3);
+                chain.append(4);
+                self.history(h).append(5);
+                KeyChain::open(d).append(6);
+                free_call(7);
+                path::module::helper(8);
+            }",
+        );
+        let by_name = |n: &str| calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(by_name("publish").hint, Hint::SelfTy);
+        assert!(by_name("publish").dotted);
+        assert_eq!(by_name("assoc").hint, Hint::SelfTy);
+        assert!(!by_name("assoc").dotted);
+        assert_eq!(by_name("open").hint, Hint::Ty("KeyChain".into()));
+        assert_eq!(
+            by_name("append").hint,
+            Hint::Ret { func: "chain".into(), owner: None },
+            "field receiver resolves through getters named the same"
+        );
+        let appends: Vec<_> = calls.iter().filter(|c| c.name == "append").collect();
+        assert_eq!(appends.len(), 3);
+        assert_eq!(appends[1].hint, Hint::Ret { func: "history".into(), owner: None });
+        assert_eq!(
+            appends[2].hint,
+            Hint::Ret { func: "open".into(), owner: Some("KeyChain".into()) }
+        );
+        assert_eq!(by_name("free_call").hint, Hint::None);
+        assert!(!by_name("free_call").dotted);
+        assert_eq!(by_name("helper").hint, Hint::None, "module paths are free calls");
+    }
+
+    #[test]
+    fn fence_primitive_vs_atomic_fence() {
+        let calls = calls_of(
+            "fn f(&self) {
+                self.pool.fence();
+                fence(Ordering::SeqCst);
+                self.publish_fence();
+            }",
+        );
+        let fences: Vec<_> = calls.iter().filter(|c| c.name == "fence").collect();
+        assert_eq!(fences.len(), 2);
+        assert!(fences[0].sfence, "bare fence() is the store-fence primitive");
+        assert!(!fences[1].sfence, "fence(Ordering) is an atomic fence, not an sfence");
+        assert!(!calls.iter().find(|c| c.name == "publish_fence").unwrap().sfence);
+    }
+
+    #[test]
+    fn constructors_are_not_calls() {
+        let calls = calls_of("fn f() { let x = Some(compute(1)); Ok(Vec::new()) }");
+        let names: Vec<_> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"compute"));
+        assert!(names.contains(&"new"));
+        assert!(!names.contains(&"Some") && !names.contains(&"Ok"));
+    }
+
+    #[test]
+    fn lock_sites_chain_and_binding() {
+        let trees = parse(
+            "fn f(&self) {
+                let mut large = self.large_free.lock();
+                drop(large);
+                if let Ok(mut free) = FREE_IDS.lock() { free.push(1); }
+                *self.captured.lock() = Some(1);
+                let guard = pool.txn_lock().lock();
+                let shard = self.shards[me].lock();
+            }",
+        );
+        let fns = functions(&trees);
+        let mut locks = Vec::new();
+        collect_locks(&fns[0].body, &mut locks);
+        assert_eq!(locks.len(), 5);
+        assert_eq!(locks[0].chain, vec!["self", "large_free"]);
+        assert_eq!(locks[0].binding.as_deref(), Some("large"));
+        assert_eq!(locks[1].chain, vec!["FREE_IDS"]);
+        assert_eq!(locks[1].binding.as_deref(), Some("free"));
+        assert_eq!(locks[2].chain, vec!["self", "captured"]);
+        assert_eq!(locks[2].binding, None, "temporary guard has no binding");
+        assert_eq!(locks[3].chain, vec!["pool", "txn_lock"]);
+        assert_eq!(locks[3].binding.as_deref(), Some("guard"));
+        assert_eq!(locks[4].chain, vec!["self", "shards"]);
+        assert_eq!(locks[4].binding.as_deref(), Some("shard"));
+        // And the drop produced an Unlock.
+        fn has_unlock(n: &Node, b: &str) -> bool {
+            match n {
+                Node::Seq(cs) => cs.iter().any(|c| has_unlock(c, b)),
+                Node::Branch(a) => a.iter().any(|c| has_unlock(c, b)),
+                Node::Loop(x) => has_unlock(x, b),
+                Node::Unlock { binding } => binding == b,
+                _ => false,
+            }
+        }
+        assert!(has_unlock(&fns[0].body, "large"));
+    }
+
+    #[test]
+    fn owner_and_ret_idents_are_threaded() {
+        let trees = parse(
+            "impl<'a, T: Clone> PSkipList<T> {
+                fn history(&self) -> History<PHistory<'a>> { make() }
+                fn plain(&self) {}
+            }
+            impl fmt::Debug for Pool {
+                fn fmt(&self, f: &mut Formatter) -> fmt::Result { write(f) }
+            }
+            trait Service {
+                fn ping(&self) -> Self { self.clone() }
+            }
+            fn free() -> Result<Vec<Entry>> { make() }",
+        );
+        let fns = functions(&trees);
+        let f = |n: &str| fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(f("history").owner.as_deref(), Some("PSkipList"));
+        assert_eq!(f("history").ret_idents, vec!["History", "PHistory"]);
+        assert_eq!(f("plain").owner.as_deref(), Some("PSkipList"));
+        assert_eq!(f("fmt").owner.as_deref(), Some("Pool"), "trait impl owner is after `for`");
+        assert_eq!(f("ping").owner.as_deref(), Some("Service"));
+        assert_eq!(f("ping").ret_idents, vec!["Service"], "Self maps to the owner");
+        assert_eq!(f("free").owner, None);
+        assert_eq!(f("free").ret_idents, vec!["Result", "Vec", "Entry"]);
+    }
+
+    /// A toy oracle standing in for the summary layer: `dirty_helper` may
+    /// leave PM dirty, `flush_helper` always flushes.
+    struct ToyOracle;
+    impl CallOracle for ToyOracle {
+        fn transfer(&self, call: &Call) -> Transfer {
+            match call.name.as_str() {
+                "dirty_helper" => Transfer { dirty_when_clean: true, clean_when_dirty: false },
+                "flush_helper" => Transfer { dirty_when_clean: false, clean_when_dirty: true },
+                _ => Transfer::IDENTITY,
+            }
+        }
+    }
+
+    fn oracle_violations(src: &str) -> usize {
+        let trees = parse(src);
+        functions(&trees)
+            .iter()
+            .map(|f| dirty_exits_with(&f.body, 9999, &ToyOracle).len())
+            .sum()
+    }
+
+    #[test]
+    fn oracle_drives_interprocedural_effects() {
+        // Dirtiness escaping through a call is now caught…
+        assert_eq!(oracle_violations("fn f() { dirty_helper(); }"), 1);
+        // …and a callee that flushes clears the obligation.
+        assert_eq!(
+            oracle_violations("fn f(p: &Pool) { p.write_u64(0, 1); flush_helper(); }"),
+            0
+        );
+        // Dirty-through-call then flushed locally: clean.
+        assert_eq!(oracle_violations("fn f(p: &Pool) { dirty_helper(); p.fence(); }"), 0);
+        // The intraprocedural entry point still ignores calls.
+        assert_eq!(violations("fn f() { dirty_helper(); }"), 0);
+        // via_call is reported on the exit.
+        let trees = parse("fn f() { dirty_helper(); }");
+        let fns = functions(&trees);
+        let exits = dirty_exits_with(&fns[0].body, 9999, &ToyOracle);
+        assert!(exits[0].via_call);
+        assert!(exits[0].describe("f").contains("may leave PM dirty"));
+    }
+
+    #[test]
+    fn transfer_of_matches_body_shape() {
+        let src = "fn writes(p: &Pool) { p.write_u64(0, 1); }
+            fn flushes(p: &Pool) { p.fence(); }
+            fn covered(p: &Pool) { p.write_u64(0, 1); p.persist(0, 8); }
+            fn conditional(p: &Pool, e: bool) { if e { p.fence(); } }";
+        let trees = parse(src);
+        let fns = functions(&trees);
+        let t = |n: &str| {
+            transfer_of(&fns.iter().find(|f| f.name == n).unwrap().body, &NoOracle)
+        };
+        assert_eq!(t("writes"), Transfer { dirty_when_clean: true, clean_when_dirty: false });
+        assert_eq!(t("flushes"), Transfer { dirty_when_clean: false, clean_when_dirty: true });
+        assert_eq!(t("covered"), Transfer { dirty_when_clean: false, clean_when_dirty: true });
+        assert_eq!(
+            t("conditional"),
+            Transfer::IDENTITY,
+            "a branch-only flush neither dirties nor guarantees cleaning"
+        );
     }
 }

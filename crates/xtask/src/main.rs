@@ -5,9 +5,13 @@
 //! dependencies — the workspace builds offline). See DESIGN.md §11 for the
 //! pass descriptions and `crates/xtask/src/analyze.rs` for the driver.
 //!
-//!   cargo run -p xtask -- analyze            # human-readable report
-//!   cargo run -p xtask -- analyze --json     # machine-readable (CI artifact)
-//!   cargo run -p xtask -- analyze --bless    # regenerate pm_layout.lock
+//!   cargo run -p xtask -- analyze              # human-readable report
+//!   cargo run -p xtask -- analyze --json       # machine-readable (CI artifact)
+//!   cargo run -p xtask -- analyze --bless      # regenerate lock files + baseline
+//!   cargo run -p xtask -- analyze --only PASS  # one pass (e.g. fence-budget)
+//!   cargo run -p xtask -- analyze --baseline crates/xtask/analysis_baseline.json
+//!                                              # fail only on NEW findings (CI)
+//!   cargo run -p xtask -- explain <check-id>   # rule, rationale, escape hatch
 //!
 //! `lint` is kept as an alias for `analyze` so existing CI configs and
 //! muscle memory keep working during the transition from the PR 3
@@ -15,10 +19,14 @@
 
 mod analyze;
 mod cfg;
+mod fences;
 mod layout;
 mod lexer;
-mod lint;
+
+mod locks;
 mod ordering;
+mod summary;
+mod text;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,25 +36,50 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf()
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--bless]";
+const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--bless] [--only PASS] \
+                    [--baseline FILE.json]\n       cargo run -p xtask -- explain [CHECK-ID]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") | Some("lint") => {
             let mut json = false;
-            let mut bless = false;
-            for flag in &args[1..] {
+            let mut opts = analyze::Options::default();
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--json" => json = true,
-                    "--bless" => bless = true,
+                    "--bless" => opts.bless = true,
+                    "--only" => match it.next() {
+                        Some(pass) => opts.only = Some(pass.clone()),
+                        None => {
+                            eprintln!("xtask analyze: --only needs a pass name\n{USAGE}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    "--baseline" => match it.next() {
+                        Some(path) => opts.baseline = Some(PathBuf::from(path)),
+                        None => {
+                            eprintln!("xtask analyze: --baseline needs a file path\n{USAGE}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
                     other => {
                         eprintln!("xtask analyze: unknown flag `{other}`\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 }
             }
-            let report = analyze::run(&repo_root(), bless);
+            if let Some(only) = &opts.only {
+                if !analyze::check_ids().contains(&only.as_str()) {
+                    eprintln!(
+                        "xtask analyze: unknown pass `{only}` (available: {})",
+                        analyze::check_ids().join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            let report = analyze::run(&repo_root(), &opts);
             if json {
                 print!("{}", analyze::render_json(&report));
             } else {
@@ -58,8 +91,28 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("explain") => match args.get(1) {
+            Some(id) => match analyze::explain(id) {
+                Some(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!(
+                        "xtask explain: unknown check `{id}` (available: {})",
+                        analyze::check_ids().join(", ")
+                    );
+                    ExitCode::FAILURE
+                }
+            },
+            None => {
+                println!("checks: {}", analyze::check_ids().join(", "));
+                println!("run `cargo run -p xtask -- explain <check-id>` for details");
+                ExitCode::SUCCESS
+            }
+        },
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: analyze, lint)\n{USAGE}");
+            eprintln!("xtask: unknown task `{other}` (available: analyze, lint, explain)\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {

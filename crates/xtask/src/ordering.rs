@@ -58,6 +58,13 @@ pub fn check_relaxed(src: &str, stripped: &str, spans: &[(usize, usize)]) -> Vec
 /// the line itself, or in the comment block at the head of its statement
 /// cluster (attributes skipped, at most [`CLUSTER_LINES`] code lines up).
 fn justified(lines: &[&str], idx: usize) -> bool {
+    justified_by(lines, idx, "ordering:")
+}
+
+/// The same cluster walk for any `// <marker> <why>` justification
+/// convention; the lock-order pass reuses it with `lock-order:`.
+pub fn justified_by(lines: &[&str], idx: usize, marker: &str) -> bool {
+    let has_marker = |line: &str| line.find("//").is_some_and(|p| line[p..].contains(marker));
     if has_marker(lines[idx]) {
         return true;
     }
@@ -84,8 +91,8 @@ fn justified(lines: &[&str], idx: usize) -> bool {
             return false;
         }
         if has_marker(t) {
-            // Trailing `// ordering:` on an earlier line of the same
-            // statement (multi-line call chains).
+            // Trailing marker on an earlier line of the same statement
+            // (multi-line call chains).
             return true;
         }
         budget -= 1;
@@ -93,14 +100,10 @@ fn justified(lines: &[&str], idx: usize) -> bool {
     false
 }
 
-fn has_marker(line: &str) -> bool {
-    line.find("//").is_some_and(|p| line[p..].contains("ordering:"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lint::{strip, test_spans};
+    use crate::text::{strip, test_spans};
 
     fn findings(src: &str) -> Vec<u32> {
         let stripped = strip(src);

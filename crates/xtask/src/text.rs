@@ -1,33 +1,22 @@
-//! Text-shadow utilities plus the two surviving token-search checks of the
-//! original `xtask lint` (PR 3): **facade** discipline and **SAFETY**
-//! comments. Both operate on a comment/string-stripped shadow of the source
-//! (same byte length, so offsets map 1:1 back to the original).
+//! Text-shadow utilities (strip / test-span detection / file walking) plus
+//! the two token-search checks that came from the original `xtask lint`
+//! (PR 3): **facade** discipline and **SAFETY** comments. Both operate on a
+//! comment/string-stripped shadow of the source (same byte length, so
+//! offsets map 1:1 back to the original).
+//!
+//! This used to be a standalone `lint` code path with its own file walking
+//! and report type; ISSUE 8 folded it into the [`crate::analyze`] pass
+//! framework — checks here return plain `(line, message)` pairs and the
+//! driver owns the file cache, suppressions and reporting. The `lint` CLI
+//! task is an alias for `analyze`.
 //!
 //! The third original check — the line-scanning persist-ordering heuristic
 //! with its `// lint: persist-exempt(...)` escape hatch and allowlist — is
-//! retired: the branch-aware dataflow pass in [`crate::cfg`] subsumes it
-//! (it catches flushes that cover only one control-flow path, which the
-//! textual scan could not see, and needs no exemption for prepare-phase
-//! helpers because their bodies contain no dirty-write calls).
+//! retired: the branch-aware dataflow pass in [`crate::cfg`] subsumes it.
 
-use std::fmt;
 use std::path::{Path, PathBuf};
 
 const FORBIDDEN: &[&str] = &["std::sync::atomic", "core::sync::atomic", "std::thread"];
-
-#[derive(Debug)]
-pub struct Violation {
-    pub file: PathBuf,
-    pub line: usize,
-    pub check: &'static str,
-    pub msg: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.check, self.msg)
-    }
-}
 
 /// Recursively lists `.rs` files under `dir`, skipping build output and
 /// vendored stubs. Sorted for deterministic reports.
@@ -293,12 +282,7 @@ fn line_of(src: &str, off: usize) -> usize {
 /// `mvkv-sync` facade, never `std::sync::atomic` / `std::thread` directly,
 /// so the loom models exercise the same code readers run. `#[cfg(test)]`
 /// items are exempt.
-pub fn check_facade(
-    file: &Path,
-    src: &str,
-    stripped: &str,
-    spans: &[(usize, usize)],
-) -> Vec<Violation> {
+pub fn check_facade(src: &str, stripped: &str, spans: &[(usize, usize)]) -> Vec<(u32, String)> {
     let mut out = Vec::new();
     for pat in FORBIDDEN {
         let mut from = 0;
@@ -307,14 +291,12 @@ pub fn check_facade(
             if in_spans(spans, pos) {
                 continue;
             }
-            out.push(Violation {
-                file: file.to_path_buf(),
-                line: line_of(src, pos),
-                check: "facade",
-                msg: format!(
+            out.push((
+                line_of(src, pos) as u32,
+                format!(
                     "direct `{pat}` use; import through `mvkv_sync` so loom models cover this code"
                 ),
-            });
+            ));
         }
     }
     out
@@ -327,7 +309,7 @@ pub fn check_facade(
 /// Every `unsafe {` block and `unsafe impl` must be immediately preceded by
 /// a `// SAFETY:` comment (mirrors clippy's `undocumented_unsafe_blocks`,
 /// but also covers `unsafe impl` and runs on stable without clippy).
-pub fn check_safety_comments(file: &Path, src: &str, stripped: &str) -> Vec<Violation> {
+pub fn check_safety_comments(src: &str, stripped: &str) -> Vec<(u32, String)> {
     let b = stripped.as_bytes();
     let lines: Vec<&str> = src.lines().collect();
     let mut out = Vec::new();
@@ -351,12 +333,7 @@ pub fn check_safety_comments(file: &Path, src: &str, stripped: &str) -> Vec<Viol
             continue;
         }
         let kind = if rest.starts_with('{') { "unsafe block" } else { "unsafe impl" };
-        out.push(Violation {
-            file: file.to_path_buf(),
-            line: line_no,
-            check: "safety-comment",
-            msg: format!("{kind} without a preceding `// SAFETY:` comment"),
-        });
+        out.push((line_no as u32, format!("{kind} without a preceding `// SAFETY:` comment")));
     }
     out
 }
@@ -392,17 +369,16 @@ fn has_safety_comment(lines: &[&str], line_idx: usize, tok_off: usize, src: &str
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::Path;
 
-    fn facade(src: &str) -> Vec<Violation> {
+    fn facade(src: &str) -> Vec<(u32, String)> {
         let stripped = strip(src);
         let spans = test_spans(&stripped);
-        check_facade(Path::new("x.rs"), src, &stripped, &spans)
+        check_facade(src, &stripped, &spans)
     }
 
-    fn safety(src: &str) -> Vec<Violation> {
+    fn safety(src: &str) -> Vec<(u32, String)> {
         let stripped = strip(src);
-        check_safety_comments(Path::new("x.rs"), src, &stripped)
+        check_safety_comments(src, &stripped)
     }
 
     #[test]
@@ -429,8 +405,7 @@ mod tests {
     fn facade_flags_direct_std_atomics() {
         let v = facade("use std::sync::atomic::AtomicU64;\nfn f() {}\n");
         assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 1);
-        assert_eq!(v[0].check, "facade");
+        assert_eq!(v[0].0, 1);
     }
 
     #[test]
@@ -443,7 +418,7 @@ mod tests {
     fn safety_flags_bare_unsafe_block() {
         let v = safety("fn f() {\n    let x = unsafe { *p };\n}\n");
         assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].0, 2);
     }
 
     #[test]

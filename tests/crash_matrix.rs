@@ -70,15 +70,19 @@ fn every_fence_boundary_recovers_to_a_legal_prefix() {
     let (oracle, labels) = run_workload(&probe);
     let total_fences = probe.pool().fence_count().unwrap();
     let boundaries = total_fences - fences_at_start;
-    // Floor retuned from 256 after the MOD fence audit (DESIGN.md §13)
-    // removed the per-pair key-chain fence, the history-create fence, and
-    // the allocator state-flip fences: the identical workload now crosses
-    // 251 boundaries instead of 583. The floor only guards against the
-    // workload shrinking into meaninglessness, so it tracks the leaner
-    // fence budget rather than padding the workload back up.
-    assert!(
-        boundaries >= 192,
-        "workload too small for a meaningful matrix: {boundaries} fence boundaries"
+    // Exact pin against the static fence-budget lock: the MOD fence audit
+    // (DESIGN.md §13) removed the per-pair key-chain fence, the
+    // history-create fence, and the allocator state-flip fences, taking the
+    // identical workload from 583 to 251 boundaries. The analyzer's
+    // fence-budget pass derives per-entry-point budgets statically; this
+    // runtime count is the workload-level cross-check recorded in the same
+    // lock file, so a reintroduced (or dropped) fence fails here *and* in
+    // `cargo run -p xtask -- analyze`, each message pointing at the other.
+    let budgeted = budgeted_workload_fences();
+    assert_eq!(
+        boundaries, budgeted,
+        "fence count drifted from crates/xtask/fence_budget.lock ({budgeted}): \
+         re-argue DESIGN.md §13 and bless with `cargo run -p xtask -- analyze --bless`"
     );
     eprintln!("crash matrix: sweeping {boundaries} fence boundaries");
 
@@ -139,4 +143,13 @@ fn every_fence_boundary_recovers_to_a_legal_prefix() {
         "last boundary lost more than the in-flight op: {last_watermark} vs {}",
         oracle.version()
     );
+}
+
+/// The `workload crash_matrix_fences <n>` line of the committed fence lock.
+fn budgeted_workload_fences() -> u64 {
+    let lock = include_str!("../crates/xtask/fence_budget.lock");
+    lock.lines()
+        .find_map(|l| l.strip_prefix("workload crash_matrix_fences "))
+        .and_then(|n| n.trim().parse().ok())
+        .expect("fence_budget.lock has a `workload crash_matrix_fences` line")
 }
