@@ -13,6 +13,12 @@ use std::hint::black_box;
 fn history_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("history");
     group.sample_size(20);
+    // append_persistent claims fresh segments from one shared pool on every
+    // batch and the pool never frees, so the time-based warm-up must be
+    // short enough that total claims stay far below the pool size (a fast
+    // machine at the 100 ms default burns through 64 MiB mid-warm-up).
+    group.warm_up_time(std::time::Duration::from_millis(10));
+    group.measurement_time(std::time::Duration::from_millis(100));
 
     group.bench_function("append_ephemeral", |b| {
         b.iter_batched(
@@ -27,7 +33,7 @@ fn history_ops(c: &mut Criterion) {
         );
     });
 
-    let pool = PmemPool::create_volatile(1 << 26).expect("pool");
+    let pool = PmemPool::create_volatile(1 << 28).expect("pool");
     group.bench_function("append_persistent", |b| {
         b.iter_batched(
             || History::new(PHistory::create(&pool).expect("history")),

@@ -1,0 +1,191 @@
+//! Scenario matrix — deterministic YCSB-style mixes with SLO gates.
+//!
+//! Runs every [`MixKind`] scenario (YCSB A–F analogues, hot-key skew,
+//! GC-adversarial churn) against PSkipList with persistent worker threads
+//! (the `scale_insert` shape: one long timed phase per configuration, no
+//! per-iteration spawn cost). Op streams come from the lane-partitioned
+//! generator in `mvkv-workload::mix`: one master seed fully determines every
+//! stream, independent of thread count — each scenario's
+//! `scenario-fingerprint <name> <hash>` line on stdout lets CI diff two runs
+//! for byte-identical replay.
+//!
+//! Reported per scenario × thread count: run-phase throughput plus
+//! p50/p99/p999 per-op latency from the obs histograms (latency rows need
+//! `--features obs`; without it only throughput is measured). Results are
+//! gated against `crates/bench/slo.toml` — loose order-of-magnitude
+//! tripwires, not targets; violations fail the process unless
+//! `MVKV_SLO_SKIP=1`.
+//!
+//! Env knobs: `MVKV_BENCH_N` ops per scenario (default 20 000),
+//! `MVKV_BENCH_T` thread counts (default `4`), `MVKV_OUT` for JSON rows,
+//! `--metrics` / `MVKV_METRICS=1` for an obs registry dump.
+
+use mvkv_bench::{pool_bytes_for, report, Row, TempArtifacts};
+use mvkv_core::api::LabeledTags;
+use mvkv_core::{PSkipList, StoreSession, VersionedStore};
+use mvkv_workload::scenario::VALUE_BOUND;
+use mvkv_workload::{MixConfig, MixKind, MixOp, MixPlan, SloMeasurement, SloTable};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Master seed of the whole matrix; every scenario sub-seeds from it by its
+/// stable index (`MixConfig::canonical`).
+const MASTER_SEED: u64 = 0x5EED_2022;
+
+// Per-op-type latency histograms (ns). Statics rather than `observe_ns!`
+// call sites because the harness needs snapshot handles to window each
+// scenario's delta out of the process-global registry.
+static READ_NS: mvkv_obs::LazyHistogram = mvkv_obs::LazyHistogram::new("mvkv_scenario_read_ns");
+static WRITE_NS: mvkv_obs::LazyHistogram = mvkv_obs::LazyHistogram::new("mvkv_scenario_write_ns");
+static SCAN_NS: mvkv_obs::LazyHistogram = mvkv_obs::LazyHistogram::new("mvkv_scenario_scan_ns");
+static RMW_NS: mvkv_obs::LazyHistogram = mvkv_obs::LazyHistogram::new("mvkv_scenario_rmw_ns");
+static TAG_NS: mvkv_obs::LazyHistogram = mvkv_obs::LazyHistogram::new("mvkv_scenario_tag_ns");
+
+const HISTS: [&mvkv_obs::LazyHistogram; 5] = [&READ_NS, &WRITE_NS, &SCAN_NS, &RMW_NS, &TAG_NS];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("MVKV_BENCH_T") {
+        Ok(v) => v.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        Err(_) => vec![4],
+    }
+}
+
+/// Executes one op against the store. The per-op clock read is gated on the
+/// obs layer so the disabled build measures pure store throughput.
+fn run_op(store: &PSkipList, session: &PSkipList, op: MixOp) {
+    let start = mvkv_obs::is_enabled().then(Instant::now);
+    let hist = match op {
+        MixOp::Read { key } => {
+            black_box(session.find(key, store.tag()));
+            &READ_NS
+        }
+        MixOp::Insert { key, value } | MixOp::Update { key, value } => {
+            session.insert(key, value);
+            &WRITE_NS
+        }
+        MixOp::Scan { lo, len } => {
+            // YCSB E: seek, stream at most `len` live pairs, stop early.
+            let mut n = 0u64;
+            for pair in store.scan(store.tag(), lo).take(len as usize) {
+                n += black_box(pair).1.wrapping_add(1) & 1;
+            }
+            black_box(n);
+            &SCAN_NS
+        }
+        MixOp::Rmw { key, delta } => {
+            let old = session.find(key, store.tag()).unwrap_or(0);
+            // Stay inside the generator's value domain (and away from the
+            // tombstone sentinel) when the counter overflows it.
+            session.insert(key, old.wrapping_add(delta) & (VALUE_BOUND - 1));
+            &RMW_NS
+        }
+        MixOp::Remove { key } => {
+            session.remove(key);
+            &WRITE_NS
+        }
+        MixOp::Tag { label } => {
+            store.tag_labeled(label);
+            &TAG_NS
+        }
+    };
+    if let Some(start) = start {
+        hist.record(start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// One scenario at one thread count: fresh pool, preload, timed run phase.
+fn run_scenario(plan: &MixPlan, threads: usize, rep_tag: &str) -> SloMeasurement {
+    let mut arts = TempArtifacts::new();
+    let path = arts.path(&format!("scenario-{}-{rep_tag}.pool", plan.name));
+    let keys = plan.load.len() + plan.total_ops();
+    let store = PSkipList::create_file(path, pool_bytes_for(keys)).expect("pool creation");
+
+    store.session().insert_batch(&plan.load);
+    store.wait_writes_complete();
+
+    let before: Vec<_> = HISTS.iter().map(|h| h.snapshot()).collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let store = &store;
+            scope.spawn(move || {
+                let session = store.session();
+                for op in plan.ops_for_thread(tid, threads) {
+                    run_op(store, session, op);
+                }
+            });
+        }
+    });
+    store.wait_writes_complete();
+    let elapsed = start.elapsed();
+
+    let mut merged = mvkv_obs::HistogramSnapshot::empty();
+    for (h, b) in HISTS.iter().zip(&before) {
+        merged = merged.merge(&h.snapshot().since(b));
+    }
+    SloMeasurement {
+        ops_per_sec: plan.total_ops() as f64 / elapsed.as_secs_f64(),
+        p50_ns: merged.quantile(0.50),
+        p99_ns: merged.quantile(0.99),
+        p999_ns: merged.quantile(0.999),
+    }
+}
+
+fn main() {
+    let n = env_usize("MVKV_BENCH_N", 20_000);
+    let threads = thread_counts();
+    let slo = SloTable::parse(include_str!("../slo.toml")).expect("slo.toml parses");
+
+    let mut rows = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    for kind in MixKind::all() {
+        let plan = MixConfig::canonical(kind, n, MASTER_SEED).generate();
+        // CI diffs these lines between two runs to pin determinism.
+        println!("scenario-fingerprint {} {:016x}", plan.name, plan.fingerprint());
+        for &t in &threads {
+            let m = run_scenario(&plan, t, &format!("t{t}"));
+            eprintln!(
+                "[scenario] {} T={t}: {:.0} ops/s p50={}ns p99={}ns p999={}ns",
+                plan.name, m.ops_per_sec, m.p50_ns, m.p99_ns, m.p999_ns
+            );
+            for (metric, value, unit) in [
+                ("ops_per_sec", m.ops_per_sec, "ops/s"),
+                ("p50_ns", m.p50_ns as f64, "ns"),
+                ("p99_ns", m.p99_ns as f64, "ns"),
+                ("p999_ns", m.p999_ns as f64, "ns"),
+            ] {
+                rows.push(Row {
+                    figure: "scenario",
+                    approach: plan.name.to_string(),
+                    x: t as u64,
+                    metric,
+                    value,
+                    unit,
+                });
+            }
+            if let Some(spec) = slo.get(plan.name) {
+                violations.extend(spec.violations(plan.name, &m, mvkv_obs::is_enabled()));
+            } else {
+                violations.push(format!("{}: no SLO section in slo.toml", plan.name));
+            }
+        }
+    }
+
+    report("scenario", "YCSB-style scenario matrix (deterministic lane streams)", &rows);
+
+    if !violations.is_empty() {
+        eprintln!("\nSLO violations ({}):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        if std::env::var("MVKV_SLO_SKIP").is_ok_and(|v| v == "1") {
+            eprintln!("MVKV_SLO_SKIP=1: not failing the run");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

@@ -36,6 +36,7 @@ pub mod export;
 pub mod lockedmap;
 pub mod pskiplist;
 pub mod recovery;
+pub mod scan;
 pub mod stats;
 pub mod vmap;
 
@@ -49,6 +50,7 @@ pub use pskiplist::{CompactStats, PSkipList, RestartStats, SalvageOpen, StoreOpt
 pub use recovery::{
     CorruptionClass, KeyQuarantine, QuarantineReport, RecoveryError, RecoveryStatus, ScrubReport,
 };
+pub use scan::SnapshotScan;
 #[doc(hidden)]
 pub use pskiplist::splitmix as splitmix_for_tests;
 pub use stats::OpStats;

@@ -712,8 +712,14 @@ impl PSkipList {
         self.pool.crash_image()
     }
 
-    fn history(&self, hist_off: u64) -> History<PHistory<'_>> {
+    pub(crate) fn history(&self, hist_off: u64) -> History<PHistory<'_>> {
         History::new(PHistory::open(&self.pool, PPtr::from_off(hist_off)))
+    }
+
+    /// Index cursor positioned at the first key `>= lo` (the seek half of
+    /// [`crate::scan::SnapshotScan`]).
+    pub(crate) fn index_range_from(&self, lo: u64) -> mvkv_skiplist::Iter<'_, u64> {
+        self.index.range_from(&lo)
     }
 
     /// Records `(key, version)` in the changelog (if enabled) — durably,

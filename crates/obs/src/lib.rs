@@ -54,7 +54,7 @@ pub use imp::{is_enabled, LazyCounter, LazyGauge, LazyHistogram, Registry, SpanG
 #[cfg(any(not(feature = "enabled"), loom))]
 mod noop;
 #[cfg(any(not(feature = "enabled"), loom))]
-pub use noop::{is_enabled, LazyCounter, LazyGauge, LazyHistogram, Registry, SpanGuard};
+pub use noop::{is_enabled, HistogramSnapshot, LazyCounter, LazyGauge, LazyHistogram, Registry, SpanGuard};
 
 /// Adds `delta` to the named monotonic counter.
 ///

@@ -59,6 +59,39 @@ impl LazyHistogram {
 
     #[inline(always)]
     pub fn record(&self, _value: u64) {}
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot
+    }
+}
+
+/// Zero-sized stand-in for the enabled build's merged histogram view:
+/// always empty, so quantile consumers (the scenario-matrix harness) compile
+/// unchanged with the layer off and read zeros — they are expected to skip
+/// latency gates when [`is_enabled`] is false.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot;
+
+impl HistogramSnapshot {
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot
+    }
+
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    pub fn quantile(&self, _q: f64) -> u64 {
+        0
+    }
+
+    pub fn since(&self, _earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot
+    }
+
+    pub fn merge(&self, _other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot
+    }
 }
 
 /// Zero-sized span guard: entering and dropping it does nothing.
@@ -98,6 +131,7 @@ mod tests {
         assert_eq!(std::mem::size_of::<LazyCounter>(), 0);
         assert_eq!(std::mem::size_of::<LazyGauge>(), 0);
         assert_eq!(std::mem::size_of::<LazyHistogram>(), 0);
+        assert_eq!(std::mem::size_of::<HistogramSnapshot>(), 0);
         assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
         assert_eq!(std::mem::size_of::<Registry>(), 0);
     }

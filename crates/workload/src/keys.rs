@@ -47,6 +47,40 @@ pub fn unique_keys(rng: &mut Mt19937_64, n: usize) -> Vec<u64> {
     out
 }
 
+/// Derives the seed of sub-stream `lane` from one master seed — the single
+/// seeded-stream-splitting rule of the whole workload crate. The canonical
+/// paper scenario ([`crate::scenario::GeneratedWorkload::query_mix`]) uses it
+/// for per-thread query streams and the YCSB-style mix engine
+/// ([`crate::mix`]) for its op/value/scenario sub-streams, so the two engines
+/// cannot drift apart. The multiplier is the golden-ratio increment used by
+/// SplitMix64; distinct lanes land in distinct MT19937-64 seed orbits.
+#[inline]
+pub fn derive_seed(master: u64, lane: u64) -> u64 {
+    master ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Order-sensitive fingerprint of a word stream (FNV-style fold through the
+/// SplitMix64 finalizer). Used to hash-pin generated op streams: the golden
+/// regression tests and the scenario-matrix determinism gate both compare
+/// these 64-bit digests instead of whole streams.
+pub fn stream_fingerprint(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for w in words {
+        h = mix64(h ^ w);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: a fixed bijection on `u64` used both as the
+/// fingerprint mixer and as the rank→key spreading map of the mix engine.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Splits `data` into `parts` contiguous chunks whose sizes differ by at most
 /// one — the paper's "evenly distribute them to T threads".
 pub fn partition_even<T: Clone>(data: &[T], parts: usize) -> Vec<Vec<T>> {
@@ -116,6 +150,31 @@ mod tests {
         let parts = partition_even(&data, 10);
         assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 3);
         assert_eq!(parts.len(), 10);
+    }
+
+    #[test]
+    fn derive_seed_matches_the_historical_inline_rule() {
+        // `query_mix` used this exact expression inline before the helper
+        // was extracted; the canonical per-thread query streams depend on
+        // it bit-for-bit.
+        for (master, tid) in [(123u64, 0u64), (0xC0FFEE, 3), (u64::MAX, 63)] {
+            assert_eq!(derive_seed(master, tid), master ^ tid.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+
+    #[test]
+    fn mix64_is_injective_on_a_sample() {
+        let mut seen = HashSet::new();
+        for x in 0..100_000u64 {
+            assert!(seen.insert(mix64(x)));
+        }
+    }
+
+    #[test]
+    fn stream_fingerprint_is_order_sensitive() {
+        assert_ne!(stream_fingerprint([1, 2, 3]), stream_fingerprint([3, 2, 1]));
+        assert_ne!(stream_fingerprint([1, 2]), stream_fingerprint([1, 2, 0]));
+        assert_eq!(stream_fingerprint([7, 8, 9]), stream_fingerprint([7, 8, 9]));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! The paper tags after *every* insert and remove, so version numbers
 //! coincide with operation indices.
 
-use crate::keys::{partition_even, shuffled_keys, unique_pairs, KeyValue};
+use crate::keys::{derive_seed, partition_even, shuffled_keys, unique_pairs, KeyValue};
 use crate::mt19937::Mt19937_64;
 
 /// Upper bound (exclusive) for generated values. Values strictly below this
@@ -130,8 +130,9 @@ impl GeneratedWorkload {
         let keys = self.all_keys();
         (0..self.threads)
             .map(|tid| {
-                // Fixed per-thread seeds, as in the paper (§V-C).
-                let mut rng = Mt19937_64::new(seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                // Fixed per-thread seeds, as in the paper (§V-C); the
+                // splitting rule is shared with the mix engine (`keys.rs`).
+                let mut rng = Mt19937_64::new(derive_seed(seed, tid as u64));
                 (0..per_thread)
                     .map(|_| {
                         let k = keys[rng.next_below(keys.len() as u64) as usize];

@@ -1,0 +1,220 @@
+//! Per-scenario SLO thresholds: a tiny TOML-subset table.
+//!
+//! The checked-in `crates/bench/slo.toml` declares, per scenario section,
+//! a throughput floor and latency ceilings; the scenario-matrix harness and
+//! the CI `scenario-matrix` job gate on them. The parser accepts exactly
+//! the subset those files need — `[section]` headers, `key = <number>`
+//! pairs, `#` comments — and rejects everything else loudly, so a typo in a
+//! threshold fails the harness instead of silently skipping a gate (the
+//! workspace deliberately vendors no TOML crate).
+//!
+//! Semantics: `min_ops_per_sec` always gates; the three `max_p*_ns`
+//! ceilings gate only when the obs layer is compiled in (latency quantiles
+//! come from its histograms — without it they'd read zero and trivially
+//! pass, which would be a lie, so the harness skips them and says so).
+
+use std::collections::BTreeMap;
+
+/// Thresholds of one scenario section. All fields optional: an absent key
+/// means "no gate on this axis".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloSpec {
+    /// Throughput floor over the whole run phase.
+    pub min_ops_per_sec: Option<f64>,
+    /// Ceiling on the median per-op latency.
+    pub max_p50_ns: Option<u64>,
+    /// Ceiling on the 99th-percentile per-op latency.
+    pub max_p99_ns: Option<u64>,
+    /// Ceiling on the 99.9th-percentile per-op latency.
+    pub max_p999_ns: Option<u64>,
+}
+
+/// What the harness measured for one scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct SloMeasurement {
+    pub ops_per_sec: f64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+}
+
+impl SloSpec {
+    /// Returns one human-readable violation per breached threshold.
+    /// `gate_latency = false` (obs layer compiled out) skips the latency
+    /// ceilings — quantiles are meaningless without histograms.
+    pub fn violations(
+        &self,
+        scenario: &str,
+        m: &SloMeasurement,
+        gate_latency: bool,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(floor) = self.min_ops_per_sec {
+            if m.ops_per_sec < floor {
+                out.push(format!(
+                    "{scenario}: throughput {:.0} ops/s below the SLO floor {floor:.0}",
+                    m.ops_per_sec
+                ));
+            }
+        }
+        if gate_latency {
+            for (name, got, ceil) in [
+                ("p50", m.p50_ns, self.max_p50_ns),
+                ("p99", m.p99_ns, self.max_p99_ns),
+                ("p999", m.p999_ns, self.max_p999_ns),
+            ] {
+                if let Some(ceil) = ceil {
+                    if got > ceil {
+                        out.push(format!(
+                            "{scenario}: {name} latency {got} ns above the SLO ceiling {ceil} ns"
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The parsed `slo.toml`: scenario name → spec.
+#[derive(Debug, Clone, Default)]
+pub struct SloTable {
+    specs: BTreeMap<String, SloSpec>,
+}
+
+impl SloTable {
+    /// Parses the TOML subset. Errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<SloTable, String> {
+        let mut specs: BTreeMap<String, SloSpec> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(i) => raw[..i].trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(format!("line {lineno}: empty section name"));
+                }
+                if specs.contains_key(name) {
+                    return Err(format!("line {lineno}: duplicate section `{name}`"));
+                }
+                specs.insert(name.to_string(), SloSpec::default());
+                current = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+            };
+            let Some(section) = &current else {
+                return Err(format!("line {lineno}: `{line}` outside any [section]"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let spec = specs.get_mut(section).expect("current section exists");
+            let parse_u64 = || -> Result<u64, String> {
+                value.parse().map_err(|_| format!("line {lineno}: `{value}` is not an integer"))
+            };
+            match key {
+                "min_ops_per_sec" => {
+                    let v: f64 = value
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: `{value}` is not a number"))?;
+                    spec.min_ops_per_sec = Some(v);
+                }
+                "max_p50_ns" => spec.max_p50_ns = Some(parse_u64()?),
+                "max_p99_ns" => spec.max_p99_ns = Some(parse_u64()?),
+                "max_p999_ns" => spec.max_p999_ns = Some(parse_u64()?),
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{other}` (knowns: min_ops_per_sec, \
+                         max_p50_ns, max_p99_ns, max_p999_ns)"
+                    ))
+                }
+            }
+        }
+        Ok(SloTable { specs })
+    }
+
+    pub fn get(&self, scenario: &str) -> Option<&SloSpec> {
+        self.specs.get(scenario)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.specs.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# scenario SLOs
+[ycsb_a]
+min_ops_per_sec = 1000   # generous CI floor
+max_p99_ns = 50000000
+
+[churn]
+min_ops_per_sec = 500.5
+max_p50_ns = 2000000
+max_p999_ns = 1000000000
+";
+
+    #[test]
+    fn parses_sections_keys_and_comments() {
+        let t = SloTable::parse(SAMPLE).unwrap();
+        assert_eq!(t.len(), 2);
+        let a = t.get("ycsb_a").unwrap();
+        assert_eq!(a.min_ops_per_sec, Some(1000.0));
+        assert_eq!(a.max_p99_ns, Some(50_000_000));
+        assert_eq!(a.max_p50_ns, None);
+        let c = t.get("churn").unwrap();
+        assert_eq!(c.min_ops_per_sec, Some(500.5));
+        assert_eq!(c.max_p999_ns, Some(1_000_000_000));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_duplicates_and_orphans() {
+        assert!(SloTable::parse("[a]\nmax_p42_ns = 1").unwrap_err().contains("unknown key"));
+        assert!(SloTable::parse("[a]\n[a]").unwrap_err().contains("duplicate"));
+        assert!(SloTable::parse("min_ops_per_sec = 1").unwrap_err().contains("outside"));
+        assert!(SloTable::parse("[a]\nmax_p50_ns = fast").unwrap_err().contains("not an integer"));
+    }
+
+    #[test]
+    fn violations_fire_per_breached_axis() {
+        let spec = SloSpec {
+            min_ops_per_sec: Some(1000.0),
+            max_p50_ns: Some(100),
+            max_p99_ns: Some(200),
+            max_p999_ns: None,
+        };
+        let m = SloMeasurement { ops_per_sec: 10.0, p50_ns: 150, p99_ns: 150, p999_ns: 9999 };
+        let v = spec.violations("s", &m, true);
+        assert_eq!(v.len(), 2, "{v:?}"); // throughput + p50; p99 ok, p999 ungated
+        assert!(v[0].contains("throughput"));
+        assert!(v[1].contains("p50"));
+        // Latency gates off: only the throughput floor remains.
+        assert_eq!(spec.violations("s", &m, false).len(), 1);
+    }
+
+    #[test]
+    fn passing_measurement_yields_no_violations() {
+        let t = SloTable::parse(SAMPLE).unwrap();
+        let m = SloMeasurement { ops_per_sec: 5000.0, p50_ns: 10, p99_ns: 10, p999_ns: 10 };
+        assert!(t.get("ycsb_a").unwrap().violations("ycsb_a", &m, true).is_empty());
+    }
+}

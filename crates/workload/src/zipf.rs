@@ -1,0 +1,162 @@
+//! Zipfian rank sampling for the YCSB-style scenario mixes.
+//!
+//! Implements the rejection-free closed-form sampler of Gray et al.
+//! ("Quickly Generating Billion-Record Synthetic Databases", SIGMOD '94),
+//! the same construction YCSB's `ZipfianGenerator` uses: ranks 0 and 1 are
+//! drawn exactly from their probabilities `1/ζ(n,θ)` and `0.5^θ/ζ(n,θ)`,
+//! every other rank comes from the continuous power-law inversion
+//! `floor(n · (η·u − η + 1)^α)` — one uniform draw per sample, no rejection
+//! loop, so the stream consumes exactly one PRNG word per op regardless of
+//! `θ`. Rank 0 is the most popular item; callers map ranks onto keys (the
+//! mix engine spreads them through [`crate::keys::mix64`], the scrambled-
+//! zipfian analogue).
+//!
+//! θ (the paper's `theta`) controls skew: 0 is uniform, YCSB's default is
+//! 0.99, and values above 1 are legal here too (the harmonic normalizer is
+//! computed by direct summation, not the θ<1 closed form). θ = 1 exactly is
+//! rejected because the inversion exponent `α = 1/(1−θ)` is singular there —
+//! use 0.99 or 1.01.
+
+use crate::mt19937::Mt19937_64;
+
+/// Zipfian sampler over ranks `0..n` with skew parameter `theta`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    /// `1 + 0.5^theta` — the two-rank threshold of the closed form.
+    thresh1: f64,
+}
+
+impl Zipfian {
+    /// Builds a sampler over `n` ranks. `n ≥ 1`; `theta ≥ 0` and not ≈ 1.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n >= 1, "zipfian needs at least one rank");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        assert!((theta - 1.0).abs() > 1e-6, "theta = 1 is a pole of the closed form");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, thresh1: 1.0 + 0.5f64.powf(theta) }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws the next rank in `0..n` (0 = most popular), consuming exactly
+    /// one `u64` from `rng`.
+    pub fn next(&self, rng: &mut Mt19937_64) -> u64 {
+        let u = uniform_f64(rng);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n > 1 && uz < self.thresh1 {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Theoretical probability of rank `k`: `(k+1)^-θ / ζ(n,θ)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k < self.n);
+        ((k + 1) as f64).powf(-self.theta) / self.zetan
+    }
+
+    /// Theoretical CDF at rank `k` (inclusive): `ζ(k+1,θ) / ζ(n,θ)`.
+    /// O(k) — meant for tests and doc tables, not sampling.
+    pub fn cdf(&self, k: u64) -> f64 {
+        assert!(k < self.n);
+        zeta(k + 1, self.theta) / self.zetan
+    }
+}
+
+/// Generalized harmonic number `ζ(n,θ) = Σ_{i=1..n} i^-θ` by direct
+/// summation — exact for any θ, O(n) once per sampler.
+pub fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| (i as f64).powf(-theta)).sum()
+}
+
+/// Uniform draw in `[0, 1)` from the high 53 bits of one MT19937-64 word
+/// (the reference `genrand64_real2` construction).
+#[inline]
+pub fn uniform_f64(rng: &mut Mt19937_64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_stay_in_range_and_rank0_dominates() {
+        for theta in [0.5, 0.99, 1.2] {
+            let z = Zipfian::new(100, theta);
+            let mut rng = Mt19937_64::new(42);
+            let mut counts = [0u64; 100];
+            for _ in 0..50_000 {
+                counts[z.next(&mut rng) as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            assert_eq!(counts[0], max, "rank 0 must be the mode at theta={theta}");
+            assert!(counts[0] > counts[99] * 2, "skew visible at theta={theta}");
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_near_uniform() {
+        let z = Zipfian::new(10, 0.0);
+        let mut rng = Mt19937_64::new(7);
+        let mut counts = [0u64; 10];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / 100_000.0;
+            assert!((p - 0.1).abs() < 0.02, "uniform-ish bucket, got {p}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut a = Mt19937_64::new(9);
+        let mut b = Mt19937_64::new(9);
+        for _ in 0..10_000 {
+            assert_eq!(z.next(&mut a), z.next(&mut b));
+        }
+    }
+
+    #[test]
+    fn cdf_and_pmf_are_consistent() {
+        let z = Zipfian::new(50, 0.7);
+        let mut acc = 0.0;
+        for k in 0..50 {
+            acc += z.pmf(k);
+            assert!((z.cdf(k) - acc).abs() < 1e-12);
+        }
+        assert!((z.cdf(49) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_rank_always_returns_zero() {
+        let z = Zipfian::new(1, 0.99);
+        let mut rng = Mt19937_64::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.next(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn theta_one_is_rejected() {
+        let _ = Zipfian::new(10, 1.0);
+    }
+}

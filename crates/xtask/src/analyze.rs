@@ -584,7 +584,7 @@ pub fn run(root: &Path, opts: &Options) -> Report {
         timed("fence-budget", &mut findings, &mut |findings| {
             let (budgets, mut fence_findings) = fences::compute(&ws, fences::ENTRIES);
             if opts.bless {
-                let rendered = fences::render_lock(&budgets, fences::CRASH_MATRIX_FENCES);
+                let rendered = fences::render_lock(&budgets, fences::WORKLOADS);
                 if std::fs::write(root.join(fences::FENCE_BUDGET_PATH), rendered).is_ok() {
                     blessed.push(fences::FENCE_BUDGET_PATH);
                 } else {
@@ -596,11 +596,7 @@ pub fn run(root: &Path, opts: &Options) -> Report {
                 }
             } else {
                 let lock = std::fs::read_to_string(root.join(fences::FENCE_BUDGET_PATH)).ok();
-                fence_findings.extend(fences::check(
-                    &budgets,
-                    fences::CRASH_MATRIX_FENCES,
-                    lock.as_deref(),
-                ));
+                fence_findings.extend(fences::check(&budgets, fences::WORKLOADS, lock.as_deref()));
             }
             for (file, line, msg) in fence_findings {
                 findings.push(Finding {

@@ -17,11 +17,34 @@ use crate::summary::{Budget, Workspace};
 /// Repo-relative path of the golden budget file.
 pub const FENCE_BUDGET_PATH: &str = "crates/xtask/fence_budget.lock";
 
-/// Fence boundaries crossed by the fixed crash-matrix workload
+/// Fence boundaries crossed by the fixed scripted crash-matrix workload
 /// (`tests/crash_matrix.rs`, seed 0xC4A5, eviction_rate 0). Measured, not
 /// derived — recorded here so budget drift and workload drift are caught by
 /// the same lock.
 pub const CRASH_MATRIX_FENCES: u64 = 251;
+
+/// Fence boundaries crossed by the mixed (YCSB-A analogue) crash-matrix
+/// workload: 12 preloaded keys, 48 scenario-generator ops (zipfian updates
+/// + reads), a labeled tag every 16 ops. Same seed and eviction settings.
+pub const CRASH_MATRIX_MIXED_FENCES: u64 = 84;
+
+/// One pinned dynamic workload: the runtime fence-count cross-check of a
+/// crash-matrix sweep, recorded in the lock next to the static budgets so a
+/// fence added anywhere on a workload's path trips both the analyzer and
+/// `tests/crash_matrix.rs`, each message pointing at the other.
+pub struct WorkloadSpec {
+    /// Stable id: the `workload <id> <n>` key in the lock file, looked up
+    /// by `budgeted_workload_fences` in `tests/crash_matrix.rs`.
+    pub id: &'static str,
+    /// Measured fence boundaries the workload crosses.
+    pub fences: u64,
+}
+
+/// The pinned crash-matrix workloads.
+pub const WORKLOADS: &[WorkloadSpec] = &[
+    WorkloadSpec { id: "crash_matrix_fences", fences: CRASH_MATRIX_FENCES },
+    WorkloadSpec { id: "crash_matrix_mixed_fences", fences: CRASH_MATRIX_MIXED_FENCES },
+];
 
 /// One durable entry point whose budget is locked.
 pub struct EntrySpec {
@@ -161,7 +184,7 @@ pub fn compute(ws: &Workspace, specs: &[EntrySpec]) -> (Vec<EntryBudget>, Vec<Fe
 }
 
 /// Renders the golden lock file.
-pub fn render_lock(budgets: &[EntryBudget], workload: u64) -> String {
+pub fn render_lock(budgets: &[EntryBudget], workloads: &[WorkloadSpec]) -> String {
     let mut out = String::new();
     out.push_str(
         "# xtask fence-budget lock — statically derived worst-case sfences per durable\n\
@@ -183,13 +206,19 @@ pub fn render_lock(budgets: &[EntryBudget], workload: u64) -> String {
             b.amortized.render()
         ));
     }
-    out.push_str(&format!("workload crash_matrix_fences {workload}\n"));
+    for w in workloads {
+        out.push_str(&format!("workload {} {}\n", w.id, w.fences));
+    }
     out
 }
 
 /// Diffs the computed budgets against the lock text. Every drift names the
 /// entry point and points at the bless workflow.
-pub fn check(budgets: &[EntryBudget], workload: u64, lock: Option<&str>) -> Vec<FenceFinding> {
+pub fn check(
+    budgets: &[EntryBudget],
+    workloads: &[WorkloadSpec],
+    lock: Option<&str>,
+) -> Vec<FenceFinding> {
     let mut findings = Vec::new();
     let Some(lock) = lock else {
         findings.push((
@@ -203,7 +232,7 @@ pub fn check(budgets: &[EntryBudget], workload: u64, lock: Option<&str>) -> Vec<
         return findings;
     };
     let mut locked: Vec<(String, String, String, String)> = Vec::new(); // id, qual, steady, amortized
-    let mut locked_workload: Option<String> = None;
+    let mut locked_workloads: Vec<(String, String)> = Vec::new(); // id, fences
     for (idx, raw) in lock.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -232,8 +261,8 @@ pub fn check(budgets: &[EntryBudget], workload: u64, lock: Option<&str>) -> Vec<
             }
             Some("workload") => {
                 let fields: Vec<&str> = parts.collect();
-                if fields.len() == 2 && fields[0] == "crash_matrix_fences" {
-                    locked_workload = Some(fields[1].to_string());
+                if fields.len() == 2 {
+                    locked_workloads.push((fields[0].to_string(), fields[1].to_string()));
                 } else {
                     findings.push((
                         FENCE_BUDGET_PATH.to_string(),
@@ -292,22 +321,37 @@ pub fn check(budgets: &[EntryBudget], workload: u64, lock: Option<&str>) -> Vec<
             ));
         }
     }
-    match locked_workload {
-        None => findings.push((
-            FENCE_BUDGET_PATH.to_string(),
-            0,
-            format!("{FENCE_BUDGET_PATH} is missing the `workload crash_matrix_fences` line"),
-        )),
-        Some(w) if w != workload.to_string() => findings.push((
-            FENCE_BUDGET_PATH.to_string(),
-            0,
-            format!(
-                "crash-matrix workload drift: lock records {w} fence boundaries, the analyzer \
-                 constant says {workload} — tests/crash_matrix.rs and DESIGN.md \u{a7}13 must \
-                 move together"
-            ),
-        )),
-        Some(_) => {}
+    for spec in workloads {
+        match locked_workloads.iter().find(|(id, _)| id == spec.id) {
+            None => findings.push((
+                FENCE_BUDGET_PATH.to_string(),
+                0,
+                format!("{FENCE_BUDGET_PATH} is missing the `workload {}` line", spec.id),
+            )),
+            Some((_, w)) if *w != spec.fences.to_string() => findings.push((
+                FENCE_BUDGET_PATH.to_string(),
+                0,
+                format!(
+                    "crash-matrix workload drift (`{}`): lock records {w} fence boundaries, \
+                     the analyzer constant says {} — tests/crash_matrix.rs and DESIGN.md \
+                     \u{a7}13 must move together",
+                    spec.id, spec.fences
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (id, _) in &locked_workloads {
+        if !workloads.iter().any(|w| w.id == id) {
+            findings.push((
+                FENCE_BUDGET_PATH.to_string(),
+                0,
+                format!(
+                    "lock workload `{id}` matches no pinned crash-matrix workload — remove it \
+                     or restore the entry in fences::WORKLOADS"
+                ),
+            ));
+        }
     }
     findings
 }
@@ -324,6 +368,8 @@ mod tests {
         func: "insert",
         note: "fixture",
     }];
+
+    const WL: &[WorkloadSpec] = &[WorkloadSpec { id: "crash_matrix_fences", fences: 251 }];
 
     fn fixture_ws(helper_body: &str) -> Workspace {
         Workspace::build(&[WsFile {
@@ -344,8 +390,8 @@ mod tests {
         assert!(errs.is_empty(), "{errs:?}");
         assert_eq!(budgets.len(), 1);
         assert_eq!(budgets[0].steady.flat, Count::Fin(1));
-        let lock = render_lock(&budgets, 251);
-        assert!(check(&budgets, 251, Some(&lock)).is_empty());
+        let lock = render_lock(&budgets, WL);
+        assert!(check(&budgets, WL, Some(&lock)).is_empty());
     }
 
     /// The seeded regression from the issue: a helper on the entry's call
@@ -355,12 +401,12 @@ mod tests {
     fn seeded_extra_fence_fails_the_check_naming_the_entry_point() {
         let good = fixture_ws("p.fence();");
         let (budgets, _) = compute(&good, SPECS);
-        let lock = render_lock(&budgets, 251);
+        let lock = render_lock(&budgets, WL);
 
         let drifted = fixture_ws("p.fence(); p.fence();");
         let (budgets2, _) = compute(&drifted, SPECS);
         assert_eq!(budgets2[0].steady.flat, Count::Fin(2), "helper fence counted through");
-        let findings = check(&budgets2, 251, Some(&lock));
+        let findings = check(&budgets2, WL, Some(&lock));
         assert_eq!(findings.len(), 1, "{findings:?}");
         let (file, line, msg) = &findings[0];
         assert_eq!(file, "crates/core/src/pskiplist.rs");
@@ -375,10 +421,10 @@ mod tests {
     fn removed_fence_is_also_drift() {
         let good = fixture_ws("p.fence();");
         let (budgets, _) = compute(&good, SPECS);
-        let lock = render_lock(&budgets, 251);
+        let lock = render_lock(&budgets, WL);
         let drifted = fixture_ws("let _ = p;"); // fence dropped behind the call
         let (budgets2, _) = compute(&drifted, SPECS);
-        let findings = check(&budgets2, 251, Some(&lock));
+        let findings = check(&budgets2, WL, Some(&lock));
         assert_eq!(findings.len(), 1, "losing a load-bearing fence is drift too: {findings:?}");
     }
 
@@ -386,11 +432,32 @@ mod tests {
     fn workload_and_missing_lock_are_findings() {
         let ws = fixture_ws("p.fence();");
         let (budgets, _) = compute(&ws, SPECS);
-        assert_eq!(check(&budgets, 251, None).len(), 1);
-        let lock = render_lock(&budgets, 250);
-        let findings = check(&budgets, 251, Some(&lock));
+        assert_eq!(check(&budgets, WL, None).len(), 1);
+        let lock = render_lock(&budgets, &[WorkloadSpec { id: "crash_matrix_fences", fences: 250 }]);
+        let findings = check(&budgets, WL, Some(&lock));
         assert_eq!(findings.len(), 1);
         assert!(findings[0].2.contains("workload drift"), "{findings:?}");
+        assert!(findings[0].2.contains("`crash_matrix_fences`"), "names the workload: {findings:?}");
+    }
+
+    #[test]
+    fn missing_and_unknown_workload_pins_are_findings() {
+        let ws = fixture_ws("p.fence();");
+        let (budgets, _) = compute(&ws, SPECS);
+        // Lock pins one workload, analyzer expects two: the second is missing.
+        let two: &[WorkloadSpec] = &[
+            WorkloadSpec { id: "crash_matrix_fences", fences: 251 },
+            WorkloadSpec { id: "crash_matrix_mixed_fences", fences: 84 },
+        ];
+        let lock = render_lock(&budgets, WL);
+        let findings = check(&budgets, two, Some(&lock));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].2.contains("missing the `workload crash_matrix_mixed_fences`"));
+        // Lock pins a workload the analyzer no longer knows: stale line.
+        let lock2 = render_lock(&budgets, two);
+        let findings2 = check(&budgets, WL, Some(&lock2));
+        assert_eq!(findings2.len(), 1, "{findings2:?}");
+        assert!(findings2[0].2.contains("matches no pinned crash-matrix workload"));
     }
 
     #[test]
@@ -407,12 +474,14 @@ mod tests {
             batch.contains("steady 0/1"),
             "insert_batch must cost zero flat fences and one per chunk: {batch}"
         );
-        let workload = lock
-            .lines()
-            .find_map(|l| l.strip_prefix("workload crash_matrix_fences "))
-            .and_then(|n| n.trim().parse::<u64>().ok())
-            .expect("lock records the crash-matrix workload");
-        assert_eq!(workload, CRASH_MATRIX_FENCES);
+        for spec in WORKLOADS {
+            let pinned = lock
+                .lines()
+                .find_map(|l| l.strip_prefix(&format!("workload {} ", spec.id)))
+                .and_then(|n| n.trim().parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("lock records the `{}` workload", spec.id));
+            assert_eq!(pinned, spec.fences, "{}", spec.id);
+        }
     }
 
     #[test]

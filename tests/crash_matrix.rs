@@ -2,13 +2,22 @@
 //!
 //! The crash sweep (`crash_sweep.rs`) images the store every few operations;
 //! this suite is exhaustive at the persistence-primitive level instead. It
-//! runs a deterministic insert / insert_batch / tag workload once to learn
-//! its fence schedule, then replays it once per fence index with the crash
-//! simulator armed to capture the media image *at* that exact ordering
-//! point. Every captured image must recover to a legal prefix of the
-//! workload: the watermark stops at some fully published version, snapshots
-//! below it match the oracle, watermarks are monotone across consecutive
-//! boundaries, and any durable tag label resolves to the version it named.
+//! runs a deterministic workload once to learn its fence schedule, then
+//! replays it once per fence index with the crash simulator armed to capture
+//! the media image *at* that exact ordering point. Every captured image must
+//! recover to a legal prefix of the workload: the watermark stops at some
+//! fully published version, snapshots below it match the oracle, watermarks
+//! are monotone across consecutive boundaries, and any durable tag label
+//! resolves to the version it named.
+//!
+//! Two workloads are swept, each pinned to its own `workload <id> <n>` line
+//! of `crates/xtask/fence_budget.lock`:
+//!
+//! * the original scripted insert / remove / `insert_batch` / tag mix, and
+//! * a YCSB-A analogue from the scenario generator (`mvkv-workload::mix`):
+//!   zipfian updates interleaved with reads and periodic labeled tags, so
+//!   the sweep also covers the update-of-existing-history publish path under
+//!   read traffic.
 
 mod common;
 
@@ -16,6 +25,7 @@ use common::Oracle;
 use mvkv::core::api::LabeledTags;
 use mvkv::core::{PSkipList, StoreSession, VersionedStore};
 use mvkv::pmem::CrashOptions;
+use mvkv::workload::{MixConfig, MixKind, MixOp};
 
 const POOL: usize = 4 << 20;
 
@@ -62,29 +72,78 @@ fn run_workload(store: &PSkipList) -> (Oracle, Vec<(u64, u64)>) {
     (oracle, labels)
 }
 
-#[test]
-fn every_fence_boundary_recovers_to_a_legal_prefix() {
+/// The mixed workload: a pinned YCSB-A analogue stream from the scenario
+/// generator — zipfian updates over a small preloaded keyspace, interleaved
+/// reads (no fences, but they order against the watermark) and a labeled tag
+/// every 16 ops. The plan is a pure function of its config, so every replay
+/// issues the identical op sequence.
+fn run_mixed_workload(store: &PSkipList) -> (Oracle, Vec<(u64, u64)>) {
+    let session = store.session();
+    let mut oracle = Oracle::new();
+    let mut labels = Vec::new();
+
+    let plan = MixConfig {
+        kind: MixKind::YcsbA,
+        ops: 48,
+        keyspace: 12,
+        theta: 0.99,
+        seed: 0xA11CE,
+    }
+    .generate();
+
+    for &(k, v) in &plan.load {
+        session.insert(k, v);
+        oracle.insert(k, v);
+    }
+
+    for (i, op) in plan.ops_for_thread(0, 1).into_iter().enumerate() {
+        match op {
+            MixOp::Update { key, value } | MixOp::Insert { key, value } => {
+                session.insert(key, value);
+                oracle.insert(key, value);
+            }
+            MixOp::Read { key } => {
+                // Reads cross no fences; executed so the swept schedule is
+                // the real mixed stream, not a write-only reduction of it.
+                let _ = session.find(key, store.tag());
+            }
+            other => unreachable!("YCSB-A emits only reads and updates: {other:?}"),
+        }
+        if (i + 1) % 16 == 0 {
+            let label = 1000 + i as u64;
+            store.tag_labeled(label);
+            labels.push((label, oracle.version()));
+        }
+    }
+    store.wait_writes_complete();
+    (oracle, labels)
+}
+
+/// Sweeps every fence boundary of `run`, asserting each captured image
+/// recovers to a legal prefix. `budget_id` names the workload's pinned
+/// fence count in `crates/xtask/fence_budget.lock`.
+fn sweep_every_boundary(budget_id: &str, run: impl Fn(&PSkipList) -> (Oracle, Vec<(u64, u64)>)) {
     // Pass 1: learn the fence schedule.
     let probe = PSkipList::create_crash_sim(POOL, crash_opts()).unwrap();
     let fences_at_start = probe.pool().fence_count().unwrap();
-    let (oracle, labels) = run_workload(&probe);
+    let (oracle, labels) = run(&probe);
     let total_fences = probe.pool().fence_count().unwrap();
     let boundaries = total_fences - fences_at_start;
     // Exact pin against the static fence-budget lock: the MOD fence audit
     // (DESIGN.md §13) removed the per-pair key-chain fence, the
     // history-create fence, and the allocator state-flip fences, taking the
-    // identical workload from 583 to 251 boundaries. The analyzer's
+    // original scripted workload from 583 to 251 boundaries. The analyzer's
     // fence-budget pass derives per-entry-point budgets statically; this
     // runtime count is the workload-level cross-check recorded in the same
     // lock file, so a reintroduced (or dropped) fence fails here *and* in
     // `cargo run -p xtask -- analyze`, each message pointing at the other.
-    let budgeted = budgeted_workload_fences();
+    let budgeted = budgeted_workload_fences(budget_id);
     assert_eq!(
         boundaries, budgeted,
-        "fence count drifted from crates/xtask/fence_budget.lock ({budgeted}): \
+        "fence count drifted from crates/xtask/fence_budget.lock ({budget_id} {budgeted}): \
          re-argue DESIGN.md §13 and bless with `cargo run -p xtask -- analyze --bless`"
     );
-    eprintln!("crash matrix: sweeping {boundaries} fence boundaries");
+    eprintln!("crash matrix [{budget_id}]: sweeping {boundaries} fence boundaries");
 
     // Pass 2: one replay per fence boundary. Arming happens after store
     // creation, so the swept indices start past the format-time fences.
@@ -92,7 +151,7 @@ fn every_fence_boundary_recovers_to_a_legal_prefix() {
     for i in fences_at_start + 1..=total_fences {
         let store = PSkipList::create_crash_sim(POOL, crash_opts()).unwrap();
         assert!(store.pool().capture_at_fence(i));
-        run_workload(&store);
+        run(&store);
         let image = store
             .pool()
             .captured_image()
@@ -145,11 +204,22 @@ fn every_fence_boundary_recovers_to_a_legal_prefix() {
     );
 }
 
-/// The `workload crash_matrix_fences <n>` line of the committed fence lock.
-fn budgeted_workload_fences() -> u64 {
+#[test]
+fn every_fence_boundary_recovers_to_a_legal_prefix() {
+    sweep_every_boundary("crash_matrix_fences", run_workload);
+}
+
+#[test]
+fn every_fence_boundary_of_the_mixed_workload_recovers() {
+    sweep_every_boundary("crash_matrix_mixed_fences", run_mixed_workload);
+}
+
+/// The `workload <id> <n>` line of the committed fence lock.
+fn budgeted_workload_fences(id: &str) -> u64 {
     let lock = include_str!("../crates/xtask/fence_budget.lock");
+    let prefix = format!("workload {id} ");
     lock.lines()
-        .find_map(|l| l.strip_prefix("workload crash_matrix_fences "))
+        .find_map(|l| l.strip_prefix(&prefix))
         .and_then(|n| n.trim().parse().ok())
-        .expect("fence_budget.lock has a `workload crash_matrix_fences` line")
+        .unwrap_or_else(|| panic!("fence_budget.lock has a `workload {id}` line"))
 }
