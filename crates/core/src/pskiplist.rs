@@ -376,8 +376,8 @@ impl PSkipList {
             // ended; corruption classes feed the quarantine report.
             let t1 = Instant::now();
             type ScanOut = (Vec<PrefixScan>, Vec<KeyQuarantine>);
-            let scan_results: Vec<std::thread::Result<ScanOut>> =
-                std::thread::scope(|scope| {
+            let scan_results: Vec<mvkv_sync::thread::Result<ScanOut>> =
+                mvkv_sync::thread::scope(|scope| {
                     let handles: Vec<_> = (0..threads.max(1))
                         .map(|tid| {
                             let pool = &pool;
@@ -439,7 +439,7 @@ impl PSkipList {
             // in parallel the same way. prune_to_watermark also drops
             // checksum-invalid slots below the watermark.
             let t2 = Instant::now();
-            let prune_results: Vec<std::thread::Result<u64>> = std::thread::scope(|scope| {
+            let prune_results: Vec<mvkv_sync::thread::Result<u64>> = mvkv_sync::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads.max(1))
                     .map(|tid| {
                         let pool = &pool;
@@ -515,7 +515,7 @@ impl PSkipList {
                         break;
                     }
                     Some(e) => {
-                        if e.done.load(std::sync::atomic::Ordering::Acquire) == 0 {
+                        if e.done.load(mvkv_sync::sync::atomic::Ordering::Acquire) == 0 {
                             continue; // unpublished claim: nothing to verify
                         }
                         if e.crc_valid() {
@@ -644,8 +644,8 @@ impl PSkipList {
             let mut kept: Vec<(u64, u64)> = Vec::new();
             for i in 0..visible {
                 let e = h.slots().entry(i);
-                let v = e.version.load(std::sync::atomic::Ordering::Relaxed);
-                let value = e.value.load(std::sync::atomic::Ordering::Relaxed);
+                let v = e.version.load(mvkv_sync::sync::atomic::Ordering::Relaxed);
+                let value = e.value.load(mvkv_sync::sync::atomic::Ordering::Relaxed);
                 if v <= horizon {
                     collapsed = Some((v, value));
                 } else {
@@ -771,13 +771,13 @@ impl PSkipList {
         mvkv_obs::span!("mvkv_core_extract_ns");
         let fc = self.clock.watermark();
         let approx = self.index.len() as usize;
-        let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+        let workers = mvkv_sync::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
         if workers <= 1 || approx < PARALLEL_EXTRACT_MIN {
             let mut out = Vec::with_capacity(approx);
             self.extract_into(&mut out, version, fc, lo, hi, 1, 0);
             return out;
         }
-        let chunks: Vec<Vec<Pair>> = std::thread::scope(|s| {
+        let chunks: Vec<Vec<Pair>> = mvkv_sync::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|tid| {
                     s.spawn(move || {

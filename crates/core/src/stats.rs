@@ -6,7 +6,7 @@
 //! for dashboards, tests and the benchmark harnesses' sanity assertions.
 
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
+use mvkv_sync::sync::atomic::{AtomicU64, Ordering};
 
 /// Internal counter block (one per store).
 #[derive(Debug, Default)]

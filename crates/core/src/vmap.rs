@@ -190,7 +190,7 @@ impl<K, V> Drop for VersionedMap<K, V> {
                     .slots()
                     .entry(i)
                     .value
-                    .load(std::sync::atomic::Ordering::Acquire);
+                    .load(mvkv_sync::sync::atomic::Ordering::Acquire);
                 if raw != TOMBSTONE {
                     // SAFETY: a non-tombstone payload is a Box leaked by
                     // insert; drop has exclusive access, so no double-free.

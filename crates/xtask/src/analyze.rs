@@ -1,6 +1,6 @@
 //! The multi-pass analyzer driver: `cargo run -p xtask -- analyze`.
 //!
-//! Seven passes share one parsed-file cache and one interprocedural
+//! Eight passes share one parsed-file cache and one interprocedural
 //! workspace (each source file is read, stripped and token-tree-parsed at
 //! most once, no matter how many passes look at it):
 //!
@@ -21,6 +21,10 @@
 //!    checked against `fence_budget.lock` ([`crate::fences`]).
 //! 7. `lock-order`      — acquisition-graph cycles and locks held across
 //!    fences ([`crate::locks`]).
+//! 8. `race-audit`      — shared-state inventory + RacerD-style
+//!    compositional lockset inference: unguarded writes to shared fields,
+//!    accesses outside a field's inferred guard, `static mut`, and stale
+//!    `// race:` justifications ([`crate::races`]).
 //!
 //! Findings can be suppressed via `crates/xtask/suppressions.txt`; every
 //! suppression carries a reason and an expiry date, and expired, unused or
@@ -38,11 +42,18 @@ use std::time::Instant;
 use crate::lexer::{self, Tree};
 use crate::summary::{Workspace, WsFile};
 use crate::text;
-use crate::{cfg, fences, layout, locks, ordering};
+use crate::{cfg, fences, layout, locks, ordering, races};
 
 /// Crates whose `src/` must go through the `mvkv-sync` facade (loom-swapped
-/// atomics). Mirrors the original lint's FACADE_CRATES.
-const FACADE_DIRS: &[&str] = &["crates/skiplist/src", "crates/vhistory/src", "crates/pmem/src"];
+/// atomics). Mirrors the original lint's FACADE_CRATES, plus `crates/core`
+/// since PR 10 routed its stats counters and scoped-thread uses through the
+/// facade.
+const FACADE_DIRS: &[&str] = &[
+    "crates/skiplist/src",
+    "crates/vhistory/src",
+    "crates/pmem/src",
+    "crates/core/src",
+];
 
 /// Crates whose functions the persist-ordering dataflow analyzes: everything
 /// that issues dirty PM writes directly or through a pool handle.
@@ -137,6 +148,21 @@ const CHECKS: &[CheckDoc] = &[
                     operation.",
         escape: "`// lock-order: <reason>` on the acquisition line or immediately above it \
                  (mirrors the `// ordering:` convention).",
+    },
+    CheckDoc {
+        id: "race-audit",
+        rule: "every shared mutable field (atomic, lock-guarded, interior-mutable, raw-pointer \
+               or pm-resident state reachable from a Sync context) must have a consistent \
+               protection domain: facade-atomic, guarded-by a named lock at every access, or \
+               thread-confined (TLS / &mut self). Unguarded writes, accesses outside a field's \
+               inferred guard and `static mut` are findings.",
+        rationale: "loom covers four hand-modeled interleavings; this RacerD-style lockset \
+                    inference audits every shared access in the 8 concurrency-critical crates \
+                    compositionally, so a helper is checked under the locks its callers \
+                    actually hold.",
+        escape: "`// race: <why>` on the access line or the comment block above it (mirrors \
+                 `// ordering:`); justifications that stop silencing a finding are flagged \
+                 like stale suppressions.",
     },
     CheckDoc {
         id: "suppressions",
@@ -616,6 +642,21 @@ pub fn run(root: &Path, opts: &Options) -> Report {
             for (file, line, msg) in locks::check(&ws) {
                 findings.push(Finding {
                     check: "lock-order",
+                    file,
+                    line,
+                    symbol: String::new(),
+                    msg,
+                });
+            }
+        });
+    }
+
+    // Pass 8: shared-state inventory + compositional race audit.
+    if enabled("race-audit") {
+        timed("race-audit", &mut findings, &mut |findings| {
+            for (file, line, msg) in races::check(&ws) {
+                findings.push(Finding {
+                    check: "race-audit",
                     file,
                     line,
                     symbol: String::new(),

@@ -1,0 +1,293 @@
+//! `cargo run -p xtask -- bench-diff <old.jsonl> <new.jsonl>`.
+//!
+//! Compares two `MVKV_OUT` row files (one JSON object per line, as written
+//! by `mvkv-bench::report`) and prints a per-figure delta table: throughput
+//! and latency quantiles joined on (figure, approach, x, metric). Latency
+//! metrics (`ns` unit) regress upward, throughput regresses downward; a
+//! move beyond `--threshold` percent in the bad direction is a regression
+//! and fails the process. This is the ROADMAP's "latency-history trend
+//! artifact": CI diffs each scenario-matrix run against the previous run's
+//! uploaded jsonl.
+//!
+//! Parsing is hand-rolled like the analyzer's baseline reader — xtask has
+//! no dependencies, and the row shape (`{"figure":…,"approach":…,"x":…,
+//! "metric":…,"value":…,"unit":…}`) is flat, compact serde output.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+pub struct Diff {
+    pub table: String,
+    pub regressions: usize,
+}
+
+/// One parsed jsonl row, keyed on everything but `value`.
+#[derive(Debug, PartialEq)]
+struct RowKey {
+    figure: String,
+    approach: String,
+    x: u64,
+    metric: String,
+}
+
+/// Extracts `"key":<string|number>` from one compact-or-spaced JSON line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn parse(text: &str) -> Vec<(RowKey, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (Some(figure), Some(approach), Some(x), Some(metric), Some(value)) = (
+            field(line, "figure"),
+            field(line, "approach"),
+            field(line, "x"),
+            field(line, "metric"),
+            field(line, "value"),
+        ) else {
+            continue;
+        };
+        let (Ok(x), Ok(value)) = (x.parse::<u64>(), value.parse::<f64>()) else { continue };
+        let unit = field(line, "unit").unwrap_or("").to_string();
+        out.push((
+            RowKey {
+                figure: figure.to_string(),
+                approach: approach.to_string(),
+                x,
+                metric: metric.to_string(),
+            },
+            unit,
+            value,
+        ));
+    }
+    out
+}
+
+/// Lower is better for latency rows; higher is better for everything else
+/// (throughput, ops counters).
+fn lower_is_better(metric: &str, unit: &str) -> bool {
+    unit.contains("ns") || unit.contains("us") || unit.contains("ms") || metric.ends_with("_ns")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.abs() >= 1_000_000.0 {
+        format!("{:.3}M", v / 1_000_000.0)
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.1}k", v / 1_000.0)
+    } else if v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+pub fn run(old: &Path, new: &Path, threshold_pct: f64) -> Result<Diff, String> {
+    let read = |p: &Path| {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+    };
+    let old_rows = parse(&read(old)?);
+    let new_rows = parse(&read(new)?);
+    if new_rows.is_empty() {
+        return Err(format!("{}: no parsable rows", new.display()));
+    }
+    Ok(diff(&old_rows, &new_rows, threshold_pct))
+}
+
+fn diff(
+    old_rows: &[(RowKey, String, f64)],
+    new_rows: &[(RowKey, String, f64)],
+    threshold_pct: f64,
+) -> Diff {
+    // Last row wins per key: reruns append to the same MVKV_OUT file.
+    let index = |rows: &[(RowKey, String, f64)]| -> BTreeMap<(String, String, u64, String), (String, f64)> {
+        rows.iter()
+            .map(|(k, u, v)| {
+                ((k.figure.clone(), k.approach.clone(), k.x, k.metric.clone()), (u.clone(), *v))
+            })
+            .collect()
+    };
+    let old_by = index(old_rows);
+    let new_by = index(new_rows);
+
+    let mut table = String::new();
+    let mut regressions = 0usize;
+    let mut matched = 0usize;
+    let mut last_figure = String::new();
+    let _ = writeln!(
+        table,
+        "{:<10} {:<16} {:>4} {:<14} {:>10} {:>10} {:>9}  verdict",
+        "figure", "approach", "x", "metric", "old", "new", "delta"
+    );
+    for ((figure, approach, x, metric), (unit, new_v)) in &new_by {
+        let key = (figure.clone(), approach.clone(), *x, metric.clone());
+        let Some((_, old_v)) = old_by.get(&key) else {
+            let _ = writeln!(
+                table,
+                "{:<10} {:<16} {:>4} {:<14} {:>10} {:>10} {:>9}  new row",
+                figure,
+                approach,
+                x,
+                metric,
+                "-",
+                fmt_value(*new_v),
+                "-"
+            );
+            continue;
+        };
+        matched += 1;
+        if *figure != last_figure && !last_figure.is_empty() {
+            // Blank separator between figures keeps the table scannable.
+            let _ = writeln!(table);
+        }
+        last_figure = figure.clone();
+        let delta_pct = if *old_v == 0.0 { 0.0 } else { (new_v - old_v) / old_v * 100.0 };
+        let lower = lower_is_better(metric, unit);
+        let worse = if lower { delta_pct > threshold_pct } else { delta_pct < -threshold_pct };
+        let better = if lower { delta_pct < -threshold_pct } else { delta_pct > threshold_pct };
+        let verdict = if worse {
+            regressions += 1;
+            "REGRESSION"
+        } else if better {
+            "improved"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            table,
+            "{:<10} {:<16} {:>4} {:<14} {:>10} {:>10} {:>+8.1}%  {}",
+            figure,
+            approach,
+            x,
+            metric,
+            fmt_value(*old_v),
+            fmt_value(*new_v),
+            delta_pct,
+            verdict
+        );
+    }
+    for key in old_by.keys() {
+        if !new_by.contains_key(key) {
+            let _ = writeln!(
+                table,
+                "{:<10} {:<16} {:>4} {:<14} {:>10} {:>10} {:>9}  removed",
+                key.0, key.1, key.2, key.3, "-", "-", "-"
+            );
+        }
+    }
+    let _ = writeln!(
+        table,
+        "\nbench-diff: {matched} row(s) compared, {regressions} regression(s) beyond \
+         {threshold_pct}% (latency up / throughput down)"
+    );
+    Diff { table, regressions }
+}
+
+/// `cargo run -p xtask -- explain bench-diff` payload.
+pub fn explain() -> String {
+    "bench-diff\n\n\
+     rule:\n  \
+     compares two MVKV_OUT jsonl files (e.g. the previous CI run's scenario-matrix\n  \
+     artifact vs this run's) joined on (figure, approach, x, metric); a move beyond\n  \
+     --threshold percent (default 5) in the bad direction — latency up, throughput\n  \
+     down — is a regression and exits nonzero.\n\n\
+     why:\n  \
+     the SLO gate only catches order-of-magnitude tripwires; the delta table makes\n  \
+     gradual drift reviewable run over run (the ROADMAP's latency-history artifact).\n\n\
+     escape hatch:\n  \
+     none needed — the CI step is informational (continue-on-error); locally, raise\n  \
+     --threshold for noisy machines.\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(figure: &str, approach: &str, x: u64, metric: &str, unit: &str, value: f64) -> String {
+        format!(
+            "{{\"figure\":\"{figure}\",\"approach\":\"{approach}\",\"x\":{x},\
+             \"metric\":\"{metric}\",\"value\":{value},\"unit\":\"{unit}\"}}"
+        )
+    }
+
+    #[test]
+    fn rows_parse_compact_and_spaced_json() {
+        let compact = row("scenario", "ycsb_a", 4, "ops_per_sec", "ops/s", 1234.5);
+        let spaced = "{\"figure\": \"f1\", \"approach\": \"pskiplist\", \"x\": 8, \
+                      \"metric\": \"throughput\", \"value\": 99, \"unit\": \"ops/s\"}";
+        let rows = parse(&format!("{compact}\n{spaced}\n\nnot json\n"));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0.approach, "ycsb_a");
+        assert_eq!(rows[0].2, 1234.5);
+        assert_eq!(rows[1].0.x, 8);
+    }
+
+    #[test]
+    fn latency_up_and_throughput_down_are_regressions() {
+        let old = parse(&[
+            row("scenario", "ycsb_a", 4, "ops_per_sec", "ops/s", 1000.0),
+            row("scenario", "ycsb_a", 4, "p99_ns", "ns", 100.0),
+        ]
+        .join("\n"));
+        let new = parse(&[
+            row("scenario", "ycsb_a", 4, "ops_per_sec", "ops/s", 800.0),
+            row("scenario", "ycsb_a", 4, "p99_ns", "ns", 150.0),
+        ]
+        .join("\n"));
+        let d = diff(&old, &new, 5.0);
+        assert_eq!(d.regressions, 2, "{}", d.table);
+        assert!(d.table.contains("REGRESSION"), "{}", d.table);
+        assert!(d.table.contains("-20.0%"), "{}", d.table);
+        assert!(d.table.contains("+50.0%"), "{}", d.table);
+    }
+
+    #[test]
+    fn improvements_and_noise_pass() {
+        let old = parse(&[
+            row("scenario", "ycsb_b", 4, "ops_per_sec", "ops/s", 1000.0),
+            row("scenario", "ycsb_b", 4, "p50_ns", "ns", 100.0),
+        ]
+        .join("\n"));
+        let new = parse(&[
+            row("scenario", "ycsb_b", 4, "ops_per_sec", "ops/s", 1030.0),
+            row("scenario", "ycsb_b", 4, "p50_ns", "ns", 60.0),
+        ]
+        .join("\n"));
+        let d = diff(&old, &new, 5.0);
+        assert_eq!(d.regressions, 0, "{}", d.table);
+        assert!(d.table.contains("improved"), "{}", d.table);
+        assert!(d.table.contains("ok"), "{}", d.table);
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let old = parse(&row("scenario", "ycsb_c", 2, "ops_per_sec", "ops/s", 1000.0));
+        let new = parse(&row("scenario", "ycsb_c", 2, "ops_per_sec", "ops/s", 900.0));
+        assert_eq!(diff(&old, &new, 5.0).regressions, 1);
+        assert_eq!(diff(&old, &new, 15.0).regressions, 0);
+    }
+
+    #[test]
+    fn new_and_removed_rows_are_reported_not_regressions() {
+        let old = parse(&row("scenario", "gone", 4, "ops_per_sec", "ops/s", 1.0));
+        let new = parse(&row("scenario", "fresh", 4, "ops_per_sec", "ops/s", 2.0));
+        let d = diff(&old, &new, 5.0);
+        assert_eq!(d.regressions, 0, "{}", d.table);
+        assert!(d.table.contains("new row"), "{}", d.table);
+        assert!(d.table.contains("removed"), "{}", d.table);
+    }
+}

@@ -64,9 +64,23 @@ fn justified(lines: &[&str], idx: usize) -> bool {
 /// The same cluster walk for any `// <marker> <why>` justification
 /// convention; the lock-order pass reuses it with `lock-order:`.
 pub fn justified_by(lines: &[&str], idx: usize, marker: &str) -> bool {
-    let has_marker = |line: &str| line.find("//").is_some_and(|p| line[p..].contains(marker));
+    justification_site(lines, idx, marker).is_some()
+}
+
+/// [`justified_by`], but returns the 0-based line of the justifying comment
+/// so callers can track which justifications actually silenced something
+/// (the race pass flags unused `// race:` comments like stale suppressions).
+pub fn justification_site(lines: &[&str], idx: usize, marker: &str) -> Option<usize> {
+    // Anchored at the start of the comment text so prose that merely
+    // mentions the word ("lost the race: reclaim ours") is not mistaken
+    // for a justification.
+    let has_marker = |line: &str| {
+        line.find("//").is_some_and(|p| {
+            line[p..].trim_start_matches('/').trim_start_matches('!').trim_start().starts_with(marker)
+        })
+    };
     if has_marker(lines[idx]) {
-        return true;
+        return Some(idx);
     }
     let mut budget = CLUSTER_LINES;
     let mut i = idx;
@@ -76,7 +90,7 @@ pub fn justified_by(lines: &[&str], idx: usize, marker: &str) -> bool {
         if t.starts_with("//") {
             // Walk the whole contiguous comment block.
             if has_marker(t) {
-                return true;
+                return Some(i);
             }
             continue;
         }
@@ -88,16 +102,16 @@ pub fn justified_by(lines: &[&str], idx: usize, marker: &str) -> bool {
         // a statement inside it.
         if budget == 0 || t.is_empty() || t.ends_with('{') || t.starts_with('}') || t.starts_with("fn ")
         {
-            return false;
+            return None;
         }
         if has_marker(t) {
             // Trailing marker on an earlier line of the same statement
             // (multi-line call chains).
-            return true;
+            return Some(i);
         }
         budget -= 1;
     }
-    false
+    None
 }
 
 #[cfg(test)]

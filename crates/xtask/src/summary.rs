@@ -274,6 +274,12 @@ impl Workspace {
         &self.files[self.fns[i].file].rel
     }
 
+    /// `(rel, src)` of every input file — the race pass scans whole files
+    /// (struct definitions, statics) rather than only function bodies.
+    pub fn files(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|f| (f.rel.as_str(), f.src.as_str()))
+    }
+
     pub fn fn_crate(&self, i: usize) -> &str {
         &self.files[self.fns[i].file].krate
     }
